@@ -1,0 +1,525 @@
+// Command benchsuite regenerates the paper's evaluation (Section 5): every
+// table and figure has a corresponding experiment that prints the same rows
+// or series the paper reports, on seeded synthetic workloads.
+//
+// Usage:
+//
+//	benchsuite -exp table4 -n 20000
+//	benchsuite -exp fig6 -threads 1,2,4,8
+//	benchsuite -exp all
+//
+// Experiments: table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10
+// memory pairs all. See EXPERIMENTS.md for the mapping to the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"parclust"
+	"parclust/internal/dendrogram"
+	"parclust/internal/generator"
+	"parclust/internal/geometry"
+	"parclust/internal/kdtree"
+	"parclust/internal/wspd"
+)
+
+var (
+	expFlag     = flag.String("exp", "all", "experiment to run (table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10 memory pairs all)")
+	nFlag       = flag.Int("n", 10000, "points per dataset")
+	minPtsFlag  = flag.Int("minpts", 10, "HDBSCAN* minPts")
+	seedFlag    = flag.Int64("seed", 42, "generator seed")
+	threadsFlag = flag.String("threads", "", "comma-separated thread counts for scaling experiments (default: 1,...,NumCPU)")
+	rhoFlag     = flag.Float64("rho", 0.125, "approximation parameter for fig10")
+	pairBudget  = flag.Int("pairbudget", 20_000_000, "skip full-WSPD algorithms when the pair count exceeds this budget (mirrors the paper's '-' entries)")
+)
+
+func main() {
+	flag.Parse()
+	threads := parseThreads(*threadsFlag)
+	fmt.Printf("# parclust benchsuite: n=%d minPts=%d seed=%d NumCPU=%d\n",
+		*nFlag, *minPtsFlag, *seedFlag, runtime.NumCPU())
+	exps := strings.Split(*expFlag, ",")
+	if *expFlag == "all" {
+		exps = []string{"table3", "table4", "table5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "memory", "pairs"}
+	}
+	for _, e := range exps {
+		switch strings.TrimSpace(e) {
+		case "table2":
+			table2(threads)
+		case "table3":
+			table3()
+		case "table4":
+			table4(threads)
+		case "table5":
+			table5(threads)
+		case "fig6":
+			fig6(threads)
+		case "fig7":
+			fig7(threads)
+		case "fig8":
+			fig8()
+		case "fig9":
+			fig9(threads)
+		case "fig10":
+			fig10(threads)
+		case "memory":
+			memoryStudy()
+		case "pairs":
+			pairStudy()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", e)
+			os.Exit(2)
+		}
+	}
+}
+
+func parseThreads(s string) []int {
+	if s == "" {
+		p := runtime.NumCPU()
+		out := []int{1}
+		for t := 2; t < p; t *= 2 {
+			out = append(out, t)
+		}
+		if p > 1 {
+			out = append(out, p)
+		}
+		return out
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func datasets() []generator.Dataset { return generator.PaperDatasets() }
+
+func gen(d generator.Dataset) geometry.Points { return d.Gen(*nFlag, *seedFlag) }
+
+// withThreads runs f under GOMAXPROCS=p and returns its wall-clock seconds.
+func withThreads(p int, f func()) float64 {
+	old := runtime.GOMAXPROCS(p)
+	defer runtime.GOMAXPROCS(old)
+	start := time.Now()
+	f()
+	return time.Since(start).Seconds()
+}
+
+// wspdTooLarge reports whether materializing the full WSPD would exceed the
+// pair budget (the paper marks such runs "-": out of memory / over 3h).
+func wspdTooLarge(pts geometry.Points) bool {
+	t := kdtree.Build(pts, 1)
+	return wspd.Count(t, wspd.Geometric{S: 2}) > *pairBudget
+}
+
+func secs(v float64, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// ---------------------------------------------------------------- Table 3
+
+func table3() {
+	fmt.Println("\n## Table 3: sequential dual-tree-Boruvka-style EMST baseline (1 thread)")
+	fmt.Println("dataset | boruvka_1t_s | memogfk_1t_s | memogfk_speedup_over_boruvka")
+	for _, d := range datasets() {
+		pts := gen(d)
+		tb := withThreads(1, func() {
+			if _, err := parclust.EMSTWithStats(pts, parclust.EMSTBoruvka, nil); err != nil {
+				panic(err)
+			}
+		})
+		tm := withThreads(1, func() {
+			if _, err := parclust.EMST(pts); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Printf("%s | %.3f | %.3f | %.2fx\n", d.Name, tb, tm, tb/tm)
+	}
+}
+
+// ---------------------------------------------------------------- Table 4
+
+type emstRun struct {
+	algo parclust.EMSTAlgorithm
+	name string
+}
+
+var emstAlgos = []emstRun{
+	{parclust.EMSTNaive, "EMST-Naive"},
+	{parclust.EMSTGFK, "EMST-GFK"},
+	{parclust.EMSTMemoGFK, "EMST-MemoGFK"},
+	{parclust.EMSTDelaunay2D, "EMST-Delaunay"},
+}
+
+func runEMST(pts geometry.Points, algo parclust.EMSTAlgorithm, p int) (float64, bool) {
+	if algo == parclust.EMSTDelaunay2D && pts.Dim != 2 {
+		return 0, false
+	}
+	if (algo == parclust.EMSTNaive || algo == parclust.EMSTGFK) && wspdTooLarge(pts) {
+		return 0, false
+	}
+	t := withThreads(p, func() {
+		if _, err := parclust.EMSTWithStats(pts, algo, nil); err != nil {
+			panic(err)
+		}
+	})
+	return t, true
+}
+
+func table4(threads []int) {
+	p := threads[len(threads)-1]
+	fmt.Printf("\n## Table 4: EMST running times (seconds), 1 thread vs %d threads\n", p)
+	fmt.Println("dataset | " + strings.Join(algoCols(emstAlgos, p), " | "))
+	for _, d := range datasets() {
+		pts := gen(d)
+		row := []string{d.Name}
+		for _, a := range emstAlgos {
+			t1, ok1 := runEMST(pts, a.algo, 1)
+			tp, okp := runEMST(pts, a.algo, p)
+			row = append(row, secs(t1, ok1), secs(tp, okp))
+		}
+		fmt.Println(strings.Join(row, " | "))
+	}
+}
+
+func algoCols(algos []emstRun, p int) []string {
+	var cols []string
+	for _, a := range algos {
+		cols = append(cols, a.name+"_1t", fmt.Sprintf("%s_%dt", a.name, p))
+	}
+	return cols
+}
+
+// ---------------------------------------------------------------- Table 5
+
+var hdbAlgos = []struct {
+	algo parclust.HDBSCANAlgorithm
+	name string
+}{
+	{parclust.HDBSCANMemoGFK, "HDBSCAN*-MemoGFK"},
+	{parclust.HDBSCANGanTao, "HDBSCAN*-GanTao"},
+}
+
+func runHDBSCAN(pts geometry.Points, algo parclust.HDBSCANAlgorithm, p int) float64 {
+	return withThreads(p, func() {
+		if _, err := parclust.HDBSCANWithStats(pts, *minPtsFlag, algo, nil); err != nil {
+			panic(err)
+		}
+	})
+}
+
+func table5(threads []int) {
+	p := threads[len(threads)-1]
+	fmt.Printf("\n## Table 5: HDBSCAN* running times (seconds, minPts=%d, incl. dendrogram), 1 thread vs %d threads\n", *minPtsFlag, p)
+	fmt.Printf("dataset | MemoGFK_1t | MemoGFK_%dt | GanTao_1t | GanTao_%dt\n", p, p)
+	for _, d := range datasets() {
+		pts := gen(d)
+		fmt.Printf("%s | %.3f | %.3f | %.3f | %.3f\n", d.Name,
+			runHDBSCAN(pts, parclust.HDBSCANMemoGFK, 1),
+			runHDBSCAN(pts, parclust.HDBSCANMemoGFK, p),
+			runHDBSCAN(pts, parclust.HDBSCANGanTao, 1),
+			runHDBSCAN(pts, parclust.HDBSCANGanTao, p))
+	}
+}
+
+// ---------------------------------------------------------------- Table 2
+
+func table2(threads []int) {
+	p := threads[len(threads)-1]
+	fmt.Printf("\n## Table 2: speedup over best sequential and self-relative speedup (%d threads)\n", p)
+	fmt.Println("method | speedup_over_best_seq (range, avg) | self_relative (range, avg)")
+	type acc struct{ overBest, selfRel []float64 }
+	accs := map[string]*acc{}
+	order := []string{}
+	add := func(name string, best, t1, tp float64, ok bool) {
+		if !ok {
+			return
+		}
+		a := accs[name]
+		if a == nil {
+			a = &acc{}
+			accs[name] = a
+			order = append(order, name)
+		}
+		a.overBest = append(a.overBest, best/tp)
+		a.selfRel = append(a.selfRel, t1/tp)
+	}
+	for _, d := range datasets() {
+		pts := gen(d)
+		// Best sequential EMST = fastest 1-thread run among all algorithms.
+		bestSeq := math.Inf(1)
+		type res struct {
+			t1, tp float64
+			ok     bool
+		}
+		results := map[string]res{}
+		for _, a := range emstAlgos {
+			t1, ok1 := runEMST(pts, a.algo, 1)
+			tp, okp := runEMST(pts, a.algo, p)
+			results[a.name] = res{t1, tp, ok1 && okp}
+			if ok1 && t1 < bestSeq {
+				bestSeq = t1
+			}
+		}
+		for _, a := range emstAlgos {
+			r := results[a.name]
+			add(a.name, bestSeq, r.t1, r.tp, r.ok)
+		}
+		// HDBSCAN*.
+		bestSeqH := math.Inf(1)
+		resultsH := map[string]res{}
+		for _, a := range hdbAlgos {
+			t1 := runHDBSCAN(pts, a.algo, 1)
+			tp := runHDBSCAN(pts, a.algo, p)
+			resultsH[a.name] = res{t1, tp, true}
+			if t1 < bestSeqH {
+				bestSeqH = t1
+			}
+		}
+		for _, a := range hdbAlgos {
+			r := resultsH[a.name]
+			add(a.name, bestSeqH, r.t1, r.tp, r.ok)
+		}
+	}
+	for _, name := range order {
+		a := accs[name]
+		fmt.Printf("%s | %.2f-%.2fx avg %.2fx | %.2f-%.2fx avg %.2fx\n", name,
+			minOf(a.overBest), maxOf(a.overBest), avgOf(a.overBest),
+			minOf(a.selfRel), maxOf(a.selfRel), avgOf(a.selfRel))
+	}
+}
+
+func minOf(a []float64) float64 {
+	v := math.Inf(1)
+	for _, x := range a {
+		v = math.Min(v, x)
+	}
+	return v
+}
+func maxOf(a []float64) float64 {
+	v := math.Inf(-1)
+	for _, x := range a {
+		v = math.Max(v, x)
+	}
+	return v
+}
+func avgOf(a []float64) float64 {
+	s := 0.0
+	for _, x := range a {
+		s += x
+	}
+	return s / float64(len(a))
+}
+
+// ---------------------------------------------------------------- Figures 6 & 7
+
+func fig6(threads []int) {
+	fmt.Println("\n## Figure 6: EMST speedup over best sequential vs thread count")
+	fmt.Println("dataset | algorithm | " + threadCols(threads))
+	for _, d := range datasets() {
+		pts := gen(d)
+		best := math.Inf(1)
+		for _, a := range emstAlgos {
+			if t1, ok := runEMST(pts, a.algo, 1); ok {
+				best = math.Min(best, t1)
+			}
+		}
+		for _, a := range emstAlgos {
+			var cells []string
+			usable := true
+			for _, p := range threads {
+				t, ok := runEMST(pts, a.algo, p)
+				if !ok {
+					usable = false
+					break
+				}
+				cells = append(cells, fmt.Sprintf("%.2f", best/t))
+			}
+			if usable {
+				fmt.Printf("%s | %s | %s\n", d.Name, a.name, strings.Join(cells, " | "))
+			} else {
+				fmt.Printf("%s | %s | -\n", d.Name, a.name)
+			}
+		}
+	}
+}
+
+func fig7(threads []int) {
+	fmt.Println("\n## Figure 7: HDBSCAN* speedup over best sequential vs thread count")
+	fmt.Println("dataset | algorithm | " + threadCols(threads))
+	for _, d := range datasets() {
+		pts := gen(d)
+		best := math.Inf(1)
+		for _, a := range hdbAlgos {
+			best = math.Min(best, runHDBSCAN(pts, a.algo, 1))
+		}
+		for _, a := range hdbAlgos {
+			var cells []string
+			for _, p := range threads {
+				cells = append(cells, fmt.Sprintf("%.2f", best/runHDBSCAN(pts, a.algo, p)))
+			}
+			fmt.Printf("%s | %s | %s\n", d.Name, a.name, strings.Join(cells, " | "))
+		}
+	}
+}
+
+func threadCols(threads []int) string {
+	var cols []string
+	for _, p := range threads {
+		cols = append(cols, fmt.Sprintf("%dT", p))
+	}
+	return strings.Join(cols, " | ")
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+func fig8() {
+	fmt.Println("\n## Figure 8: per-phase time decomposition (all threads)")
+	fmt.Println("dataset | method | phase=seconds ...")
+	sel := []int{0, 4, 8, 9} // 2D-UniformFill, 2D-SS-varden, GeoLife-like, Household-like
+	ds := datasets()
+	for _, di := range sel {
+		d := ds[di]
+		pts := gen(d)
+		for _, a := range emstAlgos {
+			if a.algo == parclust.EMSTDelaunay2D && pts.Dim != 2 {
+				continue
+			}
+			if (a.algo == parclust.EMSTNaive || a.algo == parclust.EMSTGFK) && wspdTooLarge(pts) {
+				continue
+			}
+			stats := parclust.NewStats()
+			if _, err := parclust.EMSTWithStats(pts, a.algo, stats); err != nil {
+				panic(err)
+			}
+			fmt.Printf("%s | %s | %s\n", d.Name, a.name, phaseString(stats))
+		}
+		for _, a := range hdbAlgos {
+			stats := parclust.NewStats()
+			if _, err := parclust.HDBSCANWithStats(pts, *minPtsFlag, a.algo, stats); err != nil {
+				panic(err)
+			}
+			fmt.Printf("%s | %s | %s\n", d.Name, a.name, phaseString(stats))
+		}
+	}
+}
+
+func phaseString(s *parclust.Stats) string {
+	keys := make([]string, 0, len(s.Phases))
+	for k := range s.Phases {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%.3f", k, s.Phases[k].Seconds()))
+	}
+	return strings.Join(parts, " ")
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+func fig9(threads []int) {
+	p := threads[len(threads)-1]
+	fmt.Printf("\n## Figure 9: ordered dendrogram construction, self-relative speedup on %d threads\n", p)
+	fmt.Println("dataset | variant | seq_s | par_1t_s | par_pt_s | self_relative_speedup")
+	for _, d := range datasets() {
+		pts := gen(d)
+		emst, err := parclust.EMST(pts)
+		if err != nil {
+			panic(err)
+		}
+		h, err := parclust.HDBSCAN(pts, *minPtsFlag)
+		if err != nil {
+			panic(err)
+		}
+		for _, v := range []struct {
+			name  string
+			edges []parclust.Edge
+		}{
+			{"single-linkage", emst},
+			{fmt.Sprintf("HDBSCAN*(minPts=%d)", *minPtsFlag), h.MST},
+		} {
+			edges := v.edges
+			tseq := withThreads(1, func() { dendrogram.BuildSequential(pts.N, edges, 0) })
+			t1 := withThreads(1, func() { dendrogram.BuildParallel(pts.N, edges, 0) })
+			tp := withThreads(p, func() { dendrogram.BuildParallel(pts.N, edges, 0) })
+			fmt.Printf("%s | %s | %.3f | %.3f | %.3f | %.2fx\n", d.Name, v.name, tseq, t1, tp, t1/tp)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- Figure 10
+
+func fig10(threads []int) {
+	p := threads[len(threads)-1]
+	fmt.Printf("\n## Figure 10: approximate OPTICS (rho=%.3f) vs exact HDBSCAN* (%d threads)\n", *rhoFlag, p)
+	fmt.Println("dataset | MemoGFK_s | GanTao_s | ApproxOPTICS_s | approx/GanTao | approx/MemoGFK")
+	ds := datasets()
+	for _, di := range []int{9, 11} { // Household-like, CHEM-like
+		d := ds[di]
+		pts := gen(d)
+		tm := runHDBSCAN(pts, parclust.HDBSCANMemoGFK, p)
+		tg := runHDBSCAN(pts, parclust.HDBSCANGanTao, p)
+		ta := withThreads(p, func() {
+			if _, err := parclust.ApproxOPTICS(pts, *minPtsFlag, *rhoFlag); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Printf("%s | %.3f | %.3f | %.3f | %.2fx | %.2fx\n", d.Name, tm, tg, ta, ta/tg, ta/tm)
+	}
+}
+
+// ---------------------------------------------------------------- memory & pairs
+
+func memoryStudy() {
+	fmt.Println("\n## Memory study (Section 3.1.3 / 5): peak resident WSPD pairs, GFK vs MemoGFK")
+	fmt.Println("dataset | gfk_peak_pairs | memogfk_peak_pairs | reduction")
+	for _, d := range datasets() {
+		pts := gen(d)
+		if wspdTooLarge(pts) {
+			fmt.Printf("%s | - | - | - (pair budget exceeded)\n", d.Name)
+			continue
+		}
+		sf := parclust.NewStats()
+		if _, err := parclust.EMSTWithStats(pts, parclust.EMSTGFK, sf); err != nil {
+			panic(err)
+		}
+		sm := parclust.NewStats()
+		if _, err := parclust.EMSTWithStats(pts, parclust.EMSTMemoGFK, sm); err != nil {
+			panic(err)
+		}
+		red := float64(sf.PeakPairsResident) / math.Max(1, float64(sm.PeakPairsResident))
+		fmt.Printf("%s | %d | %d | %.2fx\n", d.Name, sf.PeakPairsResident, sm.PeakPairsResident, red)
+	}
+}
+
+func pairStudy() {
+	fmt.Println("\n## WSPD pair counts (Section 3.2.2): geometric vs new disjunctive separation")
+	fmt.Println("dataset | geometric_pairs | mutual_pairs | reduction")
+	for _, d := range datasets() {
+		pts := gen(d)
+		t := kdtree.Build(pts, 1)
+		cd := t.CoreDistances(*minPtsFlag)
+		t.AnnotateCoreDists(cd)
+		geo := wspd.Count(t, wspd.Geometric{S: 2})
+		mu := wspd.Count(t, wspd.MutualUnreachable{})
+		fmt.Printf("%s | %d | %d | %.2fx\n", d.Name, geo, mu, float64(geo)/math.Max(1, float64(mu)))
+	}
+}

@@ -1,0 +1,93 @@
+// Command emst computes a Euclidean minimum spanning tree of a point set
+// loaded from CSV (or generated synthetically) and reports the tree weight,
+// timing, and optional per-phase decomposition.
+//
+// Usage:
+//
+//	emst -input points.csv -algo memogfk
+//	emst -gen varden -n 100000 -dim 3 -algo memogfk -phases
+//	emst -gen uniform -n 50000 -dim 2 -algo delaunay -out tree.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"parclust"
+	"parclust/internal/dataio"
+	"parclust/internal/mst"
+)
+
+func main() {
+	var (
+		input   = flag.String("input", "", "CSV file of points (one point per line)")
+		genKind = flag.String("gen", "uniform", "synthetic generator when -input is empty: uniform | varden | mixture")
+		n       = flag.Int("n", 100000, "number of generated points")
+		dim     = flag.Int("dim", 2, "dimension of generated points")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		algo    = flag.String("algo", "memogfk", "algorithm: memogfk | gfk | naive | boruvka | delaunay")
+		out     = flag.String("out", "", "write MST edges (u,v,w per line) to this file")
+		phases  = flag.Bool("phases", false, "print per-phase timing decomposition")
+		threads = flag.Int("threads", 0, "GOMAXPROCS override (0 = all cores)")
+	)
+	flag.Parse()
+	if *threads > 0 {
+		runtime.GOMAXPROCS(*threads)
+	}
+	pts, err := dataio.LoadOrGenerate(*input, *genKind, *n, *dim, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emst:", err)
+		os.Exit(1)
+	}
+	var a parclust.EMSTAlgorithm
+	switch *algo {
+	case "memogfk":
+		a = parclust.EMSTMemoGFK
+	case "gfk":
+		a = parclust.EMSTGFK
+	case "naive":
+		a = parclust.EMSTNaive
+	case "boruvka":
+		a = parclust.EMSTBoruvka
+	case "delaunay":
+		a = parclust.EMSTDelaunay2D
+	default:
+		fmt.Fprintf(os.Stderr, "emst: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+	stats := parclust.NewStats()
+	start := time.Now()
+	edges, err := parclust.EMSTWithStats(pts, a, stats)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emst:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("algorithm=%v n=%d dim=%d threads=%d\n", a, pts.N, pts.Dim, runtime.GOMAXPROCS(0))
+	fmt.Printf("edges=%d total_weight=%.6f time=%.3fs\n", len(edges), mst.TotalWeight(edges), elapsed.Seconds())
+	if *phases {
+		for name, d := range stats.Phases {
+			fmt.Printf("phase %-12s %.3fs\n", name, d.Seconds())
+		}
+		fmt.Printf("pairs_materialized=%d peak_resident=%d bccp=%d rounds=%d\n",
+			stats.PairsMaterialized, stats.PeakPairsResident, stats.BCCPComputed, stats.Rounds)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emst:", err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		for _, e := range edges {
+			fmt.Fprintf(w, "%d,%d,%.9g\n", e.U, e.V, e.W)
+		}
+		w.Flush()
+		f.Close()
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

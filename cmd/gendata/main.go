@@ -1,0 +1,62 @@
+// Command gendata writes the paper's synthetic workloads (and the seeded
+// substitutes for its real data sets) to CSV files for use with the other
+// tools or external systems.
+//
+// Usage:
+//
+//	gendata -kind varden -n 1000000 -dim 3 -out varden3d.csv
+//	gendata -paper -n 100000 -outdir data/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"parclust/internal/dataio"
+	"parclust/internal/generator"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "uniform", "generator: uniform | varden | mixture | geolife")
+		n      = flag.Int("n", 100000, "number of points")
+		dim    = flag.Int("dim", 2, "dimension")
+		seed   = flag.Int64("seed", 42, "seed")
+		out    = flag.String("out", "", "output CSV path")
+		paper  = flag.Bool("paper", false, "generate all twelve paper datasets into -outdir")
+		outdir = flag.String("outdir", "data", "output directory for -paper")
+	)
+	flag.Parse()
+	if *paper {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "gendata:", err)
+			os.Exit(1)
+		}
+		for _, d := range generator.PaperDatasets() {
+			pts := d.Gen(*n, *seed)
+			path := filepath.Join(*outdir, d.Name+".csv")
+			if err := dataio.WriteCSV(path, pts); err != nil {
+				fmt.Fprintln(os.Stderr, "gendata:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d points, %dD)\n", path, pts.N, pts.Dim)
+		}
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "gendata: -out is required (or use -paper)")
+		os.Exit(2)
+	}
+	pts, err := dataio.LoadOrGenerate("", *kind, *n, *dim, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+	if err := dataio.WriteCSV(*out, pts); err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d points, %dD)\n", *out, pts.N, pts.Dim)
+}

@@ -1,0 +1,28 @@
+// Package parclust provides fast parallel algorithms for Euclidean minimum
+// spanning trees (EMST) and hierarchical density-based spatial clustering
+// (HDBSCAN*), reproducing Wang, Yu, Gu, and Shun, "Fast Parallel Algorithms
+// for Euclidean Minimum Spanning Tree and Hierarchical Spatial Clustering"
+// (SIGMOD 2021).
+//
+// The library computes:
+//
+//   - EMSTs with the memory-optimized parallel GeoFilterKruskal algorithm
+//     (MemoGFK) over a well-separated pair decomposition, plus the GFK,
+//     Naive, Borůvka, and 2D-Delaunay baselines from the paper's evaluation;
+//   - HDBSCAN* cluster hierarchies — MSTs of the mutual reachability graph —
+//     using the paper's new disjunctive notion of well-separation, with the
+//     exact Gan–Tao baseline and the approximate OPTICS variant;
+//   - ordered dendrograms and reachability plots with a parallel top-down
+//     divide-and-conquer algorithm, supporting single-linkage clustering and
+//     DBSCAN* cluster extraction at any radius.
+//
+// Parallelism follows runtime.GOMAXPROCS; all algorithms are deterministic
+// for a fixed input regardless of the worker count.
+//
+// # Quick start
+//
+//	pts := parclust.GenerateUniform(100000, 2, 42)
+//	edges, _ := parclust.EMST(pts)
+//	h, _ := parclust.HDBSCAN(pts, 10)
+//	clusters := h.ClustersAt(2.5)
+package parclust

@@ -1,0 +1,55 @@
+// Quickstart: compute an EMST and an HDBSCAN* clustering on a small
+// synthetic data set using the public parclust API.
+package main
+
+import (
+	"fmt"
+
+	"parclust"
+)
+
+func main() {
+	// Three well-separated Gaussian blobs in 2D.
+	pts := parclust.GenerateGaussianMixture(3000, 2, 3, 1)
+
+	// Euclidean minimum spanning tree (parallel MemoGFK).
+	edges, err := parclust.EMST(pts)
+	if err != nil {
+		panic(err)
+	}
+	var weight float64
+	var longest parclust.Edge
+	for _, e := range edges {
+		weight += e.W
+		if e.W > longest.W {
+			longest = e
+		}
+	}
+	fmt.Printf("EMST: %d edges, total weight %.2f\n", len(edges), weight)
+	fmt.Printf("longest edge: %d--%d (%.2f) — a natural cluster separator\n",
+		longest.U, longest.V, longest.W)
+
+	// HDBSCAN* hierarchy with minPts = 10.
+	h, err := parclust.HDBSCAN(pts, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("HDBSCAN*: MST weight %.2f (mutual reachability)\n", h.TotalWeight())
+
+	// Sweep the radius and watch the three blobs appear.
+	for _, eps := range []float64{0.5, 2, 5, 10, 20} {
+		c := h.ClustersAt(eps)
+		noise := 0
+		for _, l := range c.Labels {
+			if l == -1 {
+				noise++
+			}
+		}
+		fmt.Printf("  eps=%5.1f -> %3d clusters, %4d noise points\n", eps, c.NumClusters, noise)
+	}
+
+	// The reachability plot: valleys are clusters.
+	plot := h.ReachabilityPlot()
+	fmt.Printf("reachability plot: %d bars, first after start has height %.2f\n",
+		len(plot), plot[1].H)
+}

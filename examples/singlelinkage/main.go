@@ -1,0 +1,65 @@
+// Single-linkage: agglomerative hierarchical clustering via the EMST
+// (Gower & Ross 1969), the paper's other dendrogram application. This
+// example clusters a synthetic "gene-expression-like" data set (high-dim
+// Gaussian mixture), walks the dendrogram top-down to extract exactly k
+// clusters, and prints the merge history near the root.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"parclust"
+)
+
+func main() {
+	const k = 6
+	pts := parclust.GenerateGaussianMixture(5000, 8, k, 3)
+	h, err := parclust.SingleLinkage(pts)
+	if err != nil {
+		panic(err)
+	}
+	d := h.Dendrogram()
+	fmt.Printf("single-linkage dendrogram over %d points (%d merges)\n",
+		pts.N, d.NumInternal())
+
+	// The k-cluster flat clustering removes the k-1 heaviest merges: cut
+	// just below the (k-1)-th largest height.
+	hs := append([]float64(nil), d.Height...)
+	sort.Float64s(hs)
+	cut := hs[len(hs)-(k-1)]
+	c := h.ClustersAt(nextDown(cut))
+	sizes := map[int32]int{}
+	for _, l := range c.Labels {
+		sizes[l]++
+	}
+	fmt.Printf("cutting below height %.3f yields %d clusters with sizes: ", cut, c.NumClusters)
+	var ss []int
+	for _, s := range sizes {
+		ss = append(ss, s)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ss)))
+	fmt.Println(ss)
+
+	// Merge history near the root: the last few merges join whole blobs.
+	fmt.Println("top merges (largest heights):")
+	type merge struct {
+		h           float64
+		left, right int32
+	}
+	sz := d.Sizes()
+	var top []merge
+	for x := d.N; x < d.N+d.NumInternal(); x++ {
+		l, r := d.Children(int32(x))
+		top = append(top, merge{d.HeightOf(int32(x)), sz[l], sz[r]})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].h > top[j].h })
+	for _, m := range top[:k] {
+		fmt.Printf("  height %8.3f joins clusters of sizes %5d and %5d\n", m.h, m.left, m.right)
+	}
+}
+
+// nextDown returns the largest float64 strictly below x.
+func nextDown(x float64) float64 {
+	return x * (1 - 1e-15)
+}

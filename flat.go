@@ -1,0 +1,75 @@
+package parclust
+
+import (
+	"fmt"
+	"math"
+
+	"parclust/internal/dbscan"
+	"parclust/internal/optics"
+)
+
+// Flat clustering entry points complementing the hierarchy: the classic
+// single-radius DBSCAN/DBSCAN* baselines, the stability-based automatic
+// extraction from an HDBSCAN* hierarchy, and the classic OPTICS ordering.
+
+// DBSCANStar computes the flat DBSCAN* clustering of Campello et al. at a
+// single radius eps: points with at least minPts neighbors within eps
+// (counting themselves) are core points, clusters are eps-connected
+// components of core points, everything else is noise. Equivalent to
+// HDBSCAN(pts, minPts).ClustersAt(eps), but computed directly; prefer the
+// hierarchy when several radii will be explored.
+func DBSCANStar(pts Points, minPts int, eps float64) (Clustering, error) {
+	if err := validatePoints(pts); err != nil {
+		return Clustering{}, err
+	}
+	if minPts < 1 || eps < 0 {
+		return Clustering{}, fmt.Errorf("parclust: invalid minPts=%d or eps=%v", minPts, eps)
+	}
+	r := dbscan.DBSCANStar(pts, minPts, eps)
+	return Clustering{Labels: r.Labels, NumClusters: r.NumClusters}, nil
+}
+
+// DBSCAN computes the original Ester et al. clustering, which additionally
+// assigns border points (non-core points within eps of a core point) to the
+// cluster of their nearest core neighbor.
+func DBSCAN(pts Points, minPts int, eps float64) (Clustering, error) {
+	if err := validatePoints(pts); err != nil {
+		return Clustering{}, err
+	}
+	if minPts < 1 || eps < 0 {
+		return Clustering{}, fmt.Errorf("parclust: invalid minPts=%d or eps=%v", minPts, eps)
+	}
+	r := dbscan.DBSCAN(pts, minPts, eps)
+	return Clustering{Labels: r.Labels, NumClusters: r.NumClusters}, nil
+}
+
+// ExtractStableClusters runs the stability-based (excess of mass) flat
+// extraction of Campello et al. on the hierarchy's dendrogram: the
+// dendrogram is condensed with the given minimum cluster size and the
+// non-overlapping set of clusters maximizing total stability is returned.
+// This is the standard "automatic" HDBSCAN* clustering that requires no
+// radius parameter.
+func (h *Hierarchy) ExtractStableClusters(minClusterSize int) Clustering {
+	return h.dendro.ExtractStable(minClusterSize)
+}
+
+// OPTICSEntry is one position of a classic OPTICS ordering.
+type OPTICSEntry = optics.Entry
+
+// OPTICS computes the classic sequential OPTICS ordering of Ankerst et al.
+// with neighborhood radius eps (use math.Inf(1) for the unbounded variant).
+// It exists as a reference implementation; for large inputs prefer
+// HDBSCAN(...).ReachabilityPlot(), which computes the same kind of plot
+// through the parallel pipeline.
+func OPTICS(pts Points, minPts int, eps float64) ([]OPTICSEntry, error) {
+	if err := validatePoints(pts); err != nil {
+		return nil, err
+	}
+	if minPts < 1 {
+		return nil, fmt.Errorf("parclust: invalid minPts=%d", minPts)
+	}
+	if math.IsNaN(eps) || eps < 0 {
+		return nil, fmt.Errorf("parclust: invalid eps=%v", eps)
+	}
+	return optics.Run(pts, minPts, eps, false), nil
+}

@@ -1,0 +1,196 @@
+package parclust
+
+import (
+	"fmt"
+	"io"
+
+	"parclust/internal/dendrogram"
+	"parclust/internal/hdbscan"
+	"parclust/internal/mst"
+)
+
+// HDBSCANAlgorithm selects the HDBSCAN* MST implementation.
+type HDBSCANAlgorithm int
+
+const (
+	// HDBSCANMemoGFK is the paper's space-efficient algorithm
+	// (Section 3.2.2): MemoGFK under the new disjunctive well-separation.
+	HDBSCANMemoGFK HDBSCANAlgorithm = iota
+	// HDBSCANGanTao is the exact parallelized Gan-Tao baseline
+	// (Section 3.2.1) with the classic geometric well-separation.
+	HDBSCANGanTao
+	// HDBSCANGanTaoFull is HDBSCANGanTao without the memory optimization
+	// (the full WSPD is materialized).
+	HDBSCANGanTaoFull
+)
+
+func (a HDBSCANAlgorithm) String() string {
+	switch a {
+	case HDBSCANMemoGFK:
+		return "HDBSCAN*-MemoGFK"
+	case HDBSCANGanTao:
+		return "HDBSCAN*-GanTao"
+	case HDBSCANGanTaoFull:
+		return "HDBSCAN*-GanTao-Full"
+	default:
+		return fmt.Sprintf("HDBSCANAlgorithm(%d)", int(a))
+	}
+}
+
+// Hierarchy is a cluster hierarchy: the MST of the (mutual reachability or
+// Euclidean) graph plus the ordered dendrogram built from it.
+type Hierarchy struct {
+	N int
+	// MST edges in the order Kruskal accepted them (non-decreasing weight).
+	MST []Edge
+	// CoreDist is each point's core distance (nil for single linkage,
+	// where every point is treated as core).
+	CoreDist []float64
+	// MinPts is the density parameter used (1 for single linkage).
+	MinPts int
+	// Start is the reachability-plot start vertex of the ordered dendrogram.
+	Start int32
+	// Stats holds phase timings and counters when requested.
+	Stats *Stats
+
+	dendro *Dendrogram
+}
+
+// HDBSCAN computes the HDBSCAN* hierarchy for pts with the default
+// space-efficient algorithm and dendrogram start vertex 0.
+func HDBSCAN(pts Points, minPts int) (*Hierarchy, error) {
+	return HDBSCANWithStats(pts, minPts, HDBSCANMemoGFK, nil)
+}
+
+// HDBSCANWithStats computes the HDBSCAN* hierarchy with an explicit
+// algorithm choice, recording phase timings into stats when non-nil.
+// The returned hierarchy includes the ordered dendrogram (the paper's
+// HDBSCAN* timings likewise include dendrogram construction).
+func HDBSCANWithStats(pts Points, minPts int, algo HDBSCANAlgorithm, stats *Stats) (*Hierarchy, error) {
+	if err := validatePoints(pts); err != nil {
+		return nil, err
+	}
+	if minPts < 1 {
+		return nil, fmt.Errorf("parclust: minPts must be >= 1, got %d", minPts)
+	}
+	if minPts > pts.N && pts.N > 0 {
+		return nil, fmt.Errorf("parclust: minPts=%d exceeds number of points %d", minPts, pts.N)
+	}
+	var ha hdbscan.Algorithm
+	switch algo {
+	case HDBSCANMemoGFK:
+		ha = hdbscan.MemoGFK
+	case HDBSCANGanTao:
+		ha = hdbscan.GanTao
+	case HDBSCANGanTaoFull:
+		ha = hdbscan.GanTaoFull
+	default:
+		return nil, fmt.Errorf("parclust: unknown HDBSCAN algorithm %v", algo)
+	}
+	res := hdbscan.Build(pts, minPts, ha, stats)
+	h := &Hierarchy{
+		N:        pts.N,
+		MST:      res.MST,
+		CoreDist: res.CoreDist,
+		MinPts:   minPts,
+		Stats:    res.Stats,
+	}
+	h.buildDendrogram()
+	return h, nil
+}
+
+// SingleLinkage computes the single-linkage clustering hierarchy of pts:
+// the ordered dendrogram over the EMST (Section 4).
+func SingleLinkage(pts Points) (*Hierarchy, error) {
+	return SingleLinkageWithStats(pts, nil)
+}
+
+// SingleLinkageWithStats is SingleLinkage with instrumentation.
+func SingleLinkageWithStats(pts Points, stats *Stats) (*Hierarchy, error) {
+	edges, err := EMSTWithStats(pts, EMSTMemoGFK, stats)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{N: pts.N, MST: edges, MinPts: 1, Stats: stats}
+	h.buildDendrogram()
+	return h, nil
+}
+
+// ApproxOPTICS computes the approximate OPTICS hierarchy of Appendix C with
+// approximation parameter rho > 0 (the paper evaluates rho = 0.125).
+func ApproxOPTICS(pts Points, minPts int, rho float64) (*Hierarchy, error) {
+	return ApproxOPTICSWithStats(pts, minPts, rho, nil)
+}
+
+// ApproxOPTICSWithStats is ApproxOPTICS with instrumentation.
+func ApproxOPTICSWithStats(pts Points, minPts int, rho float64, stats *Stats) (*Hierarchy, error) {
+	if err := validatePoints(pts); err != nil {
+		return nil, err
+	}
+	if minPts < 1 || (minPts > pts.N && pts.N > 0) {
+		return nil, fmt.Errorf("parclust: invalid minPts=%d for %d points", minPts, pts.N)
+	}
+	if rho <= 0 {
+		return nil, fmt.Errorf("parclust: rho must be > 0, got %v", rho)
+	}
+	res := hdbscan.ApproxOPTICS(pts, minPts, rho, stats)
+	h := &Hierarchy{
+		N:        pts.N,
+		MST:      res.MST,
+		CoreDist: res.CoreDist,
+		MinPts:   minPts,
+		Stats:    res.Stats,
+	}
+	h.buildDendrogram()
+	return h, nil
+}
+
+func (h *Hierarchy) buildDendrogram() {
+	if h.N == 0 {
+		return
+	}
+	timed := func(f func()) { f() }
+	if h.Stats != nil {
+		timed = func(f func()) { h.Stats.Time("dendrogram", f) }
+	}
+	timed(func() {
+		h.dendro = dendrogram.BuildParallel(h.N, h.MST, h.Start)
+	})
+}
+
+// Dendrogram returns the ordered dendrogram of the hierarchy.
+func (h *Hierarchy) Dendrogram() *Dendrogram { return h.dendro }
+
+// ReachabilityPlot returns the OPTICS-style reachability plot: the in-order
+// leaf traversal of the ordered dendrogram (Section 4.1).
+func (h *Hierarchy) ReachabilityPlot() []Bar { return h.dendro.ReachabilityPlot() }
+
+// ClustersAt extracts the flat DBSCAN* clustering at radius eps: points
+// with core distance above eps are noise, remaining points are grouped by
+// MST edges of weight at most eps. For single-linkage hierarchies every
+// point is core.
+func (h *Hierarchy) ClustersAt(eps float64) Clustering {
+	return dendrogram.CutTree(h.N, h.MST, h.CoreDist, eps)
+}
+
+// NumNoiseAt returns the number of noise points at radius eps.
+func (h *Hierarchy) NumNoiseAt(eps float64) int {
+	c := h.ClustersAt(eps)
+	noise := 0
+	for _, l := range c.Labels {
+		if l == -1 {
+			noise++
+		}
+	}
+	return noise
+}
+
+// TotalWeight returns the total MST weight (a scale-free summary used by
+// tests and benchmarks).
+func (h *Hierarchy) TotalWeight() float64 { return mst.TotalWeight(h.MST) }
+
+// WriteNewick serializes the hierarchy's dendrogram in Newick format for
+// standard dendrogram viewers; names may be nil to use point indices.
+func (h *Hierarchy) WriteNewick(w io.Writer, names []string) error {
+	return h.dendro.WriteNewick(w, names)
+}

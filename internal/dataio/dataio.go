@@ -1,0 +1,103 @@
+// Package dataio loads point sets from CSV files and writes them back,
+// shared by the command-line tools.
+package dataio
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"parclust/internal/generator"
+	"parclust/internal/geometry"
+)
+
+// LoadCSV reads a point set from a CSV file with one point per line
+// (comma-separated coordinates; blank lines and lines starting with '#'
+// are skipped). All rows must have the same dimension.
+func LoadCSV(path string) (geometry.Points, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return geometry.Points{}, err
+	}
+	defer f.Close()
+	var rows [][]float64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		row := make([]float64, len(fields))
+		for i, fstr := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(fstr), 64)
+			if err != nil {
+				return geometry.Points{}, fmt.Errorf("%s:%d: bad coordinate %q", path, lineno, fstr)
+			}
+			row[i] = v
+		}
+		if len(rows) > 0 && len(row) != len(rows[0]) {
+			return geometry.Points{}, fmt.Errorf("%s:%d: dimension %d, want %d", path, lineno, len(row), len(rows[0]))
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return geometry.Points{}, err
+	}
+	if len(rows) == 0 {
+		return geometry.Points{}, fmt.Errorf("%s: no points", path)
+	}
+	return geometry.FromSlices(rows), nil
+}
+
+// WriteCSV writes a point set with one comma-separated point per line.
+func WriteCSV(path string, pts geometry.Points) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for i := 0; i < pts.N; i++ {
+		row := pts.At(i)
+		for k, v := range row {
+			if k > 0 {
+				if err := w.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := w.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// LoadOrGenerate loads points from path when non-empty, and otherwise runs
+// the named synthetic generator (uniform | varden | mixture | geolife).
+func LoadOrGenerate(path, kind string, n, dim int, seed int64) (geometry.Points, error) {
+	if path != "" {
+		return LoadCSV(path)
+	}
+	switch kind {
+	case "uniform":
+		return generator.UniformFill(n, dim, seed), nil
+	case "varden":
+		return generator.SSVarden(n, dim, seed), nil
+	case "mixture":
+		return generator.GaussianMixture(n, dim, 10, seed), nil
+	case "geolife":
+		return generator.GeoLifeLike(n, seed), nil
+	default:
+		return geometry.Points{}, fmt.Errorf("unknown generator %q", kind)
+	}
+}

@@ -1,0 +1,84 @@
+package dataio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parclust/internal/generator"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pts.csv")
+	pts := generator.UniformFill(500, 4, 7)
+	if err := WriteCSV(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != pts.N || got.Dim != pts.Dim {
+		t.Fatalf("round trip shape %dx%d, want %dx%d", got.N, got.Dim, pts.N, pts.Dim)
+	}
+	for i := range pts.Data {
+		if got.Data[i] != pts.Data[i] {
+			t.Fatalf("coordinate %d changed: %v -> %v", i, pts.Data[i], got.Data[i])
+		}
+	}
+}
+
+func TestLoadCSVCommentsAndBlanks(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pts.csv")
+	content := "# header comment\n1.5, 2.5\n\n3.0,4.0\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts.N != 2 || pts.Dim != 2 {
+		t.Fatalf("got %dx%d", pts.N, pts.Dim)
+	}
+	if pts.Data[0] != 1.5 || pts.Data[3] != 4.0 {
+		t.Fatal("values wrong")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"bad-number.csv": "1,2\nx,4\n",
+		"ragged.csv":     "1,2\n3,4,5\n",
+		"empty.csv":      "# nothing\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCSV(path); err == nil {
+			t.Fatalf("%s: expected an error", name)
+		}
+	}
+	if _, err := LoadCSV(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("missing file: expected an error")
+	}
+}
+
+func TestLoadOrGenerate(t *testing.T) {
+	for _, kind := range []string{"uniform", "varden", "mixture", "geolife"} {
+		pts, err := LoadOrGenerate("", kind, 100, 3, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if pts.N != 100 {
+			t.Fatalf("%s: n=%d", kind, pts.N)
+		}
+	}
+	if _, err := LoadOrGenerate("", "nope", 10, 2, 1); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+}

@@ -1,0 +1,121 @@
+// Package dbscan implements the flat density-based clustering algorithms
+// that HDBSCAN* generalizes (Section 1 and 2.1 of the paper): DBSCAN* of
+// Campello et al. (core points only) and the original DBSCAN of Ester et
+// al. (with border points). Both run eps-range queries over the parallel
+// k-d tree; core-point detection is parallel, and component formation uses
+// a union-find over core-core eps-edges.
+//
+// These serve as the classic single-radius baselines the hierarchy avoids
+// recomputing: CutTree on the HDBSCAN* MST at radius eps must produce
+// exactly DBSCANStar(pts, minPts, eps), which the tests verify.
+package dbscan
+
+import (
+	"parclust/internal/geometry"
+	"parclust/internal/kdtree"
+	"parclust/internal/parallel"
+	"parclust/internal/unionfind"
+)
+
+// Result is a flat clustering: Labels[i] in [0, NumClusters) or -1 for
+// noise. Core[i] reports whether point i is a core point.
+type Result struct {
+	Labels      []int32
+	NumClusters int
+	Core        []bool
+}
+
+// DBSCANStar computes the DBSCAN* clustering: points with at least minPts
+// neighbors within eps (counting themselves) are core points; clusters are
+// the connected components of core points under eps-adjacency; all other
+// points are noise.
+func DBSCANStar(pts geometry.Points, minPts int, eps float64) Result {
+	t := kdtree.Build(pts, 16)
+	return dbscanStarOnTree(t, minPts, eps)
+}
+
+func dbscanStarOnTree(t *kdtree.Tree, minPts int, eps float64) Result {
+	n := t.Pts.N
+	core := make([]bool, n)
+	parallel.For(n, 32, func(i int) {
+		core[i] = t.RangeCount(int32(i), eps) >= minPts
+	})
+	// Connect core points within eps. Neighbor lists are computed in
+	// parallel; unions are applied sequentially (they are cheap relative
+	// to the queries).
+	nbrs := make([][]int32, n)
+	parallel.For(n, 32, func(i int) {
+		if core[i] {
+			nbrs[i] = t.RangeQuery(int32(i), eps)
+		}
+	})
+	uf := unionfind.New(n)
+	for i := 0; i < n; i++ {
+		if !core[i] {
+			continue
+		}
+		for _, j := range nbrs[i] {
+			if core[j] {
+				uf.Union(int32(i), j)
+			}
+		}
+	}
+	labels := make([]int32, n)
+	next := int32(0)
+	id := make(map[int32]int32)
+	for i := 0; i < n; i++ {
+		if !core[i] {
+			labels[i] = -1
+			continue
+		}
+		r := uf.Find(int32(i))
+		c, ok := id[r]
+		if !ok {
+			c = next
+			id[r] = c
+			next++
+		}
+		labels[i] = c
+	}
+	return Result{Labels: labels, NumClusters: int(next), Core: core}
+}
+
+// DBSCAN computes the original Ester et al. clustering: like DBSCAN*, but
+// non-core points within eps of a core point become border points of (one
+// of) the adjacent clusters instead of noise. Border assignment picks the
+// cluster of the nearest core neighbor, which makes the result
+// deterministic.
+func DBSCAN(pts geometry.Points, minPts int, eps float64) Result {
+	t := kdtree.Build(pts, 16)
+	res := dbscanStarOnTree(t, minPts, eps)
+	n := pts.N
+	// Attach border points.
+	borderLabel := make([]int32, n)
+	parallel.For(n, 32, func(i int) {
+		borderLabel[i] = -1
+		if res.Core[i] {
+			return
+		}
+		best := int32(-1)
+		bestD := eps * eps
+		for _, j := range t.RangeQuery(int32(i), eps) {
+			if !res.Core[j] {
+				continue
+			}
+			d := pts.SqDist(i, int(j))
+			if best < 0 || d < bestD || (d == bestD && j < best) {
+				best = j
+				bestD = d
+			}
+		}
+		if best >= 0 {
+			borderLabel[i] = res.Labels[best]
+		}
+	})
+	for i := 0; i < n; i++ {
+		if !res.Core[i] && borderLabel[i] >= 0 {
+			res.Labels[i] = borderLabel[i]
+		}
+	}
+	return res
+}

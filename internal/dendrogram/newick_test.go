@@ -1,0 +1,73 @@
+package dendrogram
+
+import (
+	"strings"
+	"testing"
+
+	"parclust/internal/mst"
+)
+
+func TestWriteNewickSmall(t *testing.T) {
+	// Path 0-1-2 with weights 1, 2: dendrogram is ((0,1),2).
+	edges := []mst.Edge{mst.MakeEdge(0, 1, 1), mst.MakeEdge(1, 2, 2)}
+	d := BuildSequential(3, edges, 0)
+	var sb strings.Builder
+	if err := d.WriteNewick(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "((0:1,1:1):1,2:2):0;\n"
+	if got != want {
+		t.Fatalf("newick = %q, want %q", got, want)
+	}
+}
+
+func TestWriteNewickNames(t *testing.T) {
+	edges := []mst.Edge{mst.MakeEdge(0, 1, 1.5)}
+	d := BuildSequential(2, edges, 0)
+	var sb strings.Builder
+	if err := d.WriteNewick(&sb, []string{"alpha", "beta"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != "(alpha:1.5,beta:1.5):0;\n" {
+		t.Fatalf("newick with names = %q", got)
+	}
+}
+
+func TestWriteNewickBalanced(t *testing.T) {
+	n := 200
+	edges := randTree(n, 17)
+	d := BuildParallel(n, edges, 0)
+	var sb strings.Builder
+	if err := d.WriteNewick(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := sb.String()
+	if strings.Count(s, "(") != n-1 || strings.Count(s, ")") != n-1 {
+		t.Fatalf("unbalanced parentheses: %d open, %d close",
+			strings.Count(s, "("), strings.Count(s, ")"))
+	}
+	if strings.Count(s, ",") != n-1 {
+		t.Fatalf("wrong comma count %d", strings.Count(s, ","))
+	}
+	if !strings.HasSuffix(s, ";\n") {
+		t.Fatal("missing terminator")
+	}
+}
+
+func TestWriteNewickDeepPath(t *testing.T) {
+	// A path-shaped dendrogram must not blow the stack.
+	n := 100000
+	edges := make([]mst.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, mst.MakeEdge(int32(i-1), int32(i), float64(i)))
+	}
+	d := BuildParallel(n, edges, 0)
+	var sb strings.Builder
+	if err := d.WriteNewick(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "(") != n-1 {
+		t.Fatal("wrong structure for deep path")
+	}
+}

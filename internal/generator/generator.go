@@ -1,0 +1,181 @@
+// Package generator produces the synthetic workloads of the paper's
+// evaluation (Section 5) and seeded substitutes for its real-world data
+// sets. All generators are deterministic given a seed.
+package generator
+
+import (
+	"math"
+	"math/rand"
+
+	"parclust/internal/geometry"
+)
+
+// UniformFill generates n points distributed uniformly at random inside a
+// hypergrid with side length sqrt(n), matching the paper's UniformFill.
+func UniformFill(n, dim int, seed int64) geometry.Points {
+	rng := rand.New(rand.NewSource(seed))
+	side := math.Sqrt(float64(n))
+	pts := geometry.NewPoints(n, dim)
+	for i := range pts.Data {
+		pts.Data[i] = rng.Float64() * side
+	}
+	return pts
+}
+
+// SSVarden generates the seed-spreader-with-variable-density data of Gan and
+// Tao's generator: a random walk emits points in a local vicinity, teleports
+// to a random location with small probability, and alternates between dense
+// and sparse vicinity radii, producing clusters of highly varying density
+// plus uniform background noise.
+func SSVarden(n, dim int, seed int64) geometry.Points {
+	rng := rand.New(rand.NewSource(seed))
+	side := math.Sqrt(float64(n)) * 10
+	pts := geometry.NewPoints(n, dim)
+	pos := make([]float64, dim)
+	teleport := func() {
+		for k := range pos {
+			pos[k] = rng.Float64() * side
+		}
+	}
+	teleport()
+	radius := side / 100
+	noise := n / 10000 // ~0.01% uniform noise, as in the generator's default
+	step := 0
+	for i := 0; i < n-noise; i++ {
+		if step%100 == 99 || rng.Float64() < 0.001 {
+			teleport()
+			// Alternate density regimes across restarts.
+			if rng.Intn(2) == 0 {
+				radius = side / 500
+			} else {
+				radius = side / 50
+			}
+		}
+		row := pts.Data[i*dim : (i+1)*dim]
+		for k := range row {
+			row[k] = pos[k] + (rng.Float64()*2-1)*radius
+		}
+		// Drift the spreader.
+		for k := range pos {
+			pos[k] += (rng.Float64()*2 - 1) * radius / 2
+		}
+		step++
+	}
+	for i := n - noise; i < n; i++ {
+		row := pts.Data[i*dim : (i+1)*dim]
+		for k := range row {
+			row[k] = rng.Float64() * side
+		}
+	}
+	return pts
+}
+
+// GeoLifeLike generates a 3-dimensional extremely skewed point set standing
+// in for the GeoLife GPS trace data: a small number of heavy-tailed hotspots
+// (cities) holding most points at wildly different densities, plus sparse
+// global noise. The skew is what stresses WSPD size on GeoLife.
+func GeoLifeLike(n int, seed int64) geometry.Points {
+	rng := rand.New(rand.NewSource(seed))
+	const dim = 3
+	pts := geometry.NewPoints(n, dim)
+	side := math.Sqrt(float64(n)) * 100
+	nHot := 12
+	centers := make([][]float64, nHot)
+	scales := make([]float64, nHot)
+	for h := range centers {
+		c := make([]float64, dim)
+		for k := range c {
+			c[k] = rng.Float64() * side
+		}
+		centers[h] = c
+		// Pareto-like spread of hotspot radii over 3 decades.
+		scales[h] = side / 10000 * math.Pow(1000, rng.Float64())
+	}
+	for i := 0; i < n; i++ {
+		row := pts.Data[i*dim : (i+1)*dim]
+		if rng.Float64() < 0.02 { // global noise
+			for k := range row {
+				row[k] = rng.Float64() * side
+			}
+			continue
+		}
+		// Zipf-ish hotspot choice: hotspot h gets weight ~ 1/(h+1).
+		h := 0
+		r := rng.Float64() * harmonic(nHot)
+		for acc := 0.0; h < nHot-1; h++ {
+			acc += 1 / float64(h+1)
+			if r < acc {
+				break
+			}
+		}
+		for k := range row {
+			row[k] = centers[h][k] + rng.NormFloat64()*scales[h]
+		}
+	}
+	return pts
+}
+
+func harmonic(n int) float64 {
+	s := 0.0
+	for i := 1; i <= n; i++ {
+		s += 1 / float64(i)
+	}
+	return s
+}
+
+// GaussianMixture generates a mixture of k spherical Gaussian clusters in
+// dim dimensions with uniformly placed centers, standing in for the
+// Household (7D), HT (10D), and CHEM (16D) sensor data sets.
+func GaussianMixture(n, dim, k int, seed int64) geometry.Points {
+	rng := rand.New(rand.NewSource(seed))
+	side := math.Sqrt(float64(n))
+	centers := make([][]float64, k)
+	sigma := make([]float64, k)
+	for c := range centers {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.Float64() * side
+		}
+		centers[c] = v
+		sigma[c] = side / 40 * (0.5 + rng.Float64())
+	}
+	pts := geometry.NewPoints(n, dim)
+	for i := 0; i < n; i++ {
+		c := rng.Intn(k)
+		row := pts.Data[i*dim : (i+1)*dim]
+		for j := range row {
+			row[j] = centers[c][j] + rng.NormFloat64()*sigma[c]
+		}
+	}
+	return pts
+}
+
+// Dataset is a named generated workload mirroring one row of the paper's
+// tables.
+type Dataset struct {
+	Name string
+	Dim  int
+	Gen  func(n int, seed int64) geometry.Points
+}
+
+// PaperDatasets lists the twelve workloads of Tables 4-5 (with real data
+// sets replaced by the seeded substitutes documented in DESIGN.md).
+func PaperDatasets() []Dataset {
+	mk := func(dim int, g func(n, dim int, seed int64) geometry.Points) func(int, int64) geometry.Points {
+		return func(n int, seed int64) geometry.Points { return g(n, dim, seed) }
+	}
+	return []Dataset{
+		{Name: "2D-UniformFill", Dim: 2, Gen: mk(2, UniformFill)},
+		{Name: "3D-UniformFill", Dim: 3, Gen: mk(3, UniformFill)},
+		{Name: "5D-UniformFill", Dim: 5, Gen: mk(5, UniformFill)},
+		{Name: "7D-UniformFill", Dim: 7, Gen: mk(7, UniformFill)},
+		{Name: "2D-SS-varden", Dim: 2, Gen: mk(2, SSVarden)},
+		{Name: "3D-SS-varden", Dim: 3, Gen: mk(3, SSVarden)},
+		{Name: "5D-SS-varden", Dim: 5, Gen: mk(5, SSVarden)},
+		{Name: "7D-SS-varden", Dim: 7, Gen: mk(7, SSVarden)},
+		{Name: "3D-GeoLife-like", Dim: 3, Gen: func(n int, seed int64) geometry.Points { return GeoLifeLike(n, seed) }},
+		{Name: "7D-Household-like", Dim: 7, Gen: func(n int, seed int64) geometry.Points { return GaussianMixture(n, 7, 20, seed) }},
+		{Name: "10D-HT-like", Dim: 10, Gen: func(n int, seed int64) geometry.Points { return GaussianMixture(n, 10, 12, seed) }},
+		{Name: "16D-CHEM-like", Dim: 16, Gen: func(n int, seed int64) geometry.Points { return GaussianMixture(n, 16, 8, seed) }},
+	}
+}

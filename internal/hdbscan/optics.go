@@ -1,0 +1,99 @@
+package hdbscan
+
+import (
+	"math"
+
+	"parclust/internal/geometry"
+	"parclust/internal/kdtree"
+	"parclust/internal/mst"
+	"parclust/internal/parallel"
+	"parclust/internal/wspd"
+)
+
+// ApproxOPTICS implements the parallel approximate OPTICS algorithm of
+// Appendix C (after Gan and Tao): a WSPD with separation s = sqrt(8/rho)
+// generates O(n * minPts^2) candidate edges — all cross pairs when both
+// sides are smaller than minPts, representative-to-all otherwise — weighted
+// by w(u,v) = max{cd(u), cd(v), d(u,v)/(1+rho)}; the MST of that graph
+// approximates the OPTICS/HDBSCAN* MST within a factor of (1+rho).
+//
+// Following the paper's implementation note, the representative point of a
+// node is a fixed sample (its first point) rather than an approximate BCCP.
+func ApproxOPTICS(pts geometry.Points, minPts int, rho float64, stats *mst.Stats) Result {
+	if stats == nil {
+		stats = mst.NewStats()
+	}
+	if rho <= 0 {
+		panic("hdbscan: ApproxOPTICS requires rho > 0")
+	}
+	var t *kdtree.Tree
+	stats.Time("build-tree", func() {
+		t = kdtree.Build(pts, 1)
+	})
+	var cd []float64
+	stats.Time("core-dist", func() {
+		cd = t.CoreDistances(minPts)
+		t.AnnotateCoreDists(cd)
+	})
+	s := math.Sqrt(8 / rho)
+	var pairs []wspd.Pair
+	stats.Time("wspd", func() {
+		pairs = wspd.Decompose(t, wspd.Geometric{S: s})
+	})
+	weight := func(u, v int32) float64 {
+		d := pts.Dist(int(u), int(v)) / (1 + rho)
+		return math.Max(d, math.Max(cd[u], cd[v]))
+	}
+	// Generate candidate edges per pair (cases (a)-(d) of Appendix C).
+	perPair := make([][]mst.Edge, len(pairs))
+	genEdges := func() {
+		parallel.For(len(pairs), 8, func(i int) {
+			a, b := pairs[i].A, pairs[i].B
+			pa, pb := t.Points(a), t.Points(b)
+			var out []mst.Edge
+			switch {
+			case len(pa) < minPts && len(pb) < minPts:
+				out = make([]mst.Edge, 0, len(pa)*len(pb))
+				for _, u := range pa {
+					for _, v := range pb {
+						out = append(out, mst.MakeEdge(u, v, weight(u, v)))
+					}
+				}
+			case len(pa) >= minPts && len(pb) < minPts:
+				rep := pa[0]
+				out = make([]mst.Edge, 0, len(pb))
+				for _, v := range pb {
+					out = append(out, mst.MakeEdge(rep, v, weight(rep, v)))
+				}
+			case len(pa) < minPts && len(pb) >= minPts:
+				rep := pb[0]
+				out = make([]mst.Edge, 0, len(pa))
+				for _, u := range pa {
+					out = append(out, mst.MakeEdge(u, rep, weight(u, rep)))
+				}
+			default:
+				out = []mst.Edge{mst.MakeEdge(pa[0], pb[0], weight(pa[0], pb[0]))}
+			}
+			perPair[i] = out
+		})
+	}
+	var edges []mst.Edge
+	stats.Time("gen-edges", func() {
+		genEdges()
+		total := 0
+		for _, es := range perPair {
+			total += len(es)
+		}
+		edges = make([]mst.Edge, 0, total)
+		for _, es := range perPair {
+			edges = append(edges, es...)
+		}
+	})
+	stats.AddPairs(int64(len(pairs)))
+	stats.NotePeak(int64(len(edges)))
+	var out []mst.Edge
+	stats.Time("kruskal", func() {
+		out = mst.Kruskal(pts.N, edges)
+	})
+	return Result{MST: out, CoreDist: cd, Tree: t, Stats: stats}
+}

@@ -1,0 +1,62 @@
+package kdtree
+
+import "math"
+
+// BCCPResult is the bichromatic closest pair between two tree nodes under a
+// metric: points U in A and V in B minimizing the metric, with distance W.
+type BCCPResult struct {
+	U, V int32
+	W    float64
+}
+
+// BCCP computes the bichromatic closest pair between nodes a and b of tree t
+// under metric m (Section 2.3). With the MutualReachability metric this is
+// the paper's BCCP*. The traversal prunes node pairs whose lower bound
+// cannot beat the best pair found so far and descends nearer pairs first.
+func BCCP(t *Tree, m Metric, a, b *Node) BCCPResult {
+	best := BCCPResult{U: -1, V: -1, W: math.Inf(1)}
+	bccp(t, m, a, b, &best)
+	return best
+}
+
+func bccp(t *Tree, m Metric, a, b *Node, best *BCCPResult) {
+	if m.NodeLB(a, b) >= best.W {
+		return
+	}
+	if a.IsLeaf() && b.IsLeaf() {
+		for _, p := range t.Points(a) {
+			for _, q := range t.Points(b) {
+				if p == q {
+					continue
+				}
+				if d := m.Dist(p, q); d < best.W {
+					*best = BCCPResult{U: p, V: q, W: d}
+				}
+			}
+		}
+		return
+	}
+	// Split the node with the larger bounding sphere (matching FindPair's
+	// convention); descend the nearer child pair first for tighter pruning.
+	if b.IsLeaf() || (!a.IsLeaf() && a.Radius >= b.Radius) {
+		d1 := m.NodeLB(a.Left, b)
+		d2 := m.NodeLB(a.Right, b)
+		if d1 <= d2 {
+			bccp(t, m, a.Left, b, best)
+			bccp(t, m, a.Right, b, best)
+		} else {
+			bccp(t, m, a.Right, b, best)
+			bccp(t, m, a.Left, b, best)
+		}
+		return
+	}
+	d1 := m.NodeLB(a, b.Left)
+	d2 := m.NodeLB(a, b.Right)
+	if d1 <= d2 {
+		bccp(t, m, a, b.Left, best)
+		bccp(t, m, a, b.Right, best)
+	} else {
+		bccp(t, m, a, b.Right, best)
+		bccp(t, m, a, b.Left, best)
+	}
+}

@@ -1,0 +1,244 @@
+// Package kdtree implements the parallel spatial-median k-d tree used for
+// k-NN queries, well-separated pair decomposition, and bichromatic closest
+// pair (BCCP/BCCP*) computations (Sections 2.3 and 3 of the paper).
+//
+// The tree stores a permutation of point indices; every node owns a
+// contiguous subrange, so no per-node point copies are made. Nodes carry the
+// annotations the paper's algorithms need: bounding box/sphere, core-distance
+// bounds for the HDBSCAN* well-separation test, and a per-round union-find
+// component label used to filter connected pairs in O(1).
+package kdtree
+
+import (
+	"math"
+
+	"parclust/internal/geometry"
+	"parclust/internal/parallel"
+	"parclust/internal/unionfind"
+)
+
+// Node is a k-d tree node owning points Idx[Lo:Hi] of its tree.
+type Node struct {
+	Lo, Hi      int32
+	Left, Right *Node
+	Box         geometry.Box
+	Ctr         []float64 // bounding box center
+	Radius      float64   // bounding sphere radius (half box diagonal)
+
+	// CDMin/CDMax bound the core distances of the node's points; they are
+	// populated by Tree.AnnotateCoreDists and are zero otherwise.
+	CDMin, CDMax float64
+
+	// Comp is the union-find component shared by every point in the node,
+	// or -1 if the points span multiple components. Refreshed per round by
+	// Tree.RefreshComponents.
+	Comp int32
+}
+
+// Size returns the number of points in the node.
+func (n *Node) Size() int { return int(n.Hi - n.Lo) }
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.Left == nil }
+
+// Diam returns the diameter of the node's bounding sphere.
+func (n *Node) Diam() float64 { return 2 * n.Radius }
+
+// Tree is a spatial-median k-d tree over a point set.
+type Tree struct {
+	Pts      geometry.Points
+	Idx      []int32 // permutation of [0, n)
+	Root     *Node
+	LeafSize int
+
+	// CoreDist[i] is the core distance of point i (set by AnnotateCoreDists).
+	CoreDist []float64
+}
+
+// buildGrain is the subproblem size below which build recursion is sequential.
+const buildGrain = 2048
+
+// Build constructs the tree in parallel. leafSize <= 1 yields one point per
+// leaf, which the WSPD construction requires.
+func Build(pts geometry.Points, leafSize int) *Tree {
+	if leafSize < 1 {
+		leafSize = 1
+	}
+	t := &Tree{Pts: pts, Idx: make([]int32, pts.N), LeafSize: leafSize}
+	for i := range t.Idx {
+		t.Idx[i] = int32(i)
+	}
+	if pts.N > 0 {
+		t.Root = t.build(0, int32(pts.N))
+	}
+	return t
+}
+
+func (t *Tree) build(lo, hi int32) *Node {
+	n := &Node{Lo: lo, Hi: hi, Comp: -1}
+	n.Box = geometry.BoundingBox(t.Pts, t.Idx[lo:hi])
+	n.Ctr = n.Box.Center(make([]float64, t.Pts.Dim))
+	n.Radius = n.Box.Radius()
+	if int(hi-lo) <= t.LeafSize {
+		return n
+	}
+	dim, width := n.Box.WidestDim()
+	mid := t.partition(lo, hi, dim, width, n.Box)
+	if int(hi-lo) > buildGrain {
+		parallel.Do(
+			func() { n.Left = t.build(lo, mid) },
+			func() { n.Right = t.build(mid, hi) },
+		)
+	} else {
+		n.Left = t.build(lo, mid)
+		n.Right = t.build(mid, hi)
+	}
+	return n
+}
+
+// partition splits Idx[lo:hi] around the spatial median of dim. Degenerate
+// splits (all points on one side, e.g. duplicate coordinates) fall back to an
+// index-median split so recursion always terminates.
+func (t *Tree) partition(lo, hi int32, dim int, width float64, box geometry.Box) int32 {
+	if width <= 0 {
+		return (lo + hi) / 2
+	}
+	pivot := (box.Lo[dim] + box.Hi[dim]) / 2
+	i, j := lo, hi-1
+	for i <= j {
+		for i <= j && t.coord(t.Idx[i], dim) < pivot {
+			i++
+		}
+		for i <= j && t.coord(t.Idx[j], dim) >= pivot {
+			j--
+		}
+		if i < j {
+			t.Idx[i], t.Idx[j] = t.Idx[j], t.Idx[i]
+			i++
+			j--
+		}
+	}
+	if i == lo || i == hi { // degenerate: spatial median separates nothing
+		return (lo + hi) / 2
+	}
+	return i
+}
+
+func (t *Tree) coord(p int32, dim int) float64 {
+	return t.Pts.Data[int(p)*t.Pts.Dim+dim]
+}
+
+// Points returns the point indices owned by node n.
+func (t *Tree) Points(n *Node) []int32 { return t.Idx[n.Lo:n.Hi] }
+
+// AnnotateCoreDists stores the per-point core distances and fills each node's
+// CDMin/CDMax bottom-up (used by the HDBSCAN* well-separation predicate).
+func (t *Tree) AnnotateCoreDists(cd []float64) {
+	t.CoreDist = cd
+	if t.Root != nil {
+		t.annotateCD(t.Root)
+	}
+}
+
+func (t *Tree) annotateCD(n *Node) (lo, hi float64) {
+	if n.IsLeaf() {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, p := range t.Points(n) {
+			c := t.CoreDist[p]
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		n.CDMin, n.CDMax = lo, hi
+		return lo, hi
+	}
+	var llo, lhi, rlo, rhi float64
+	if n.Size() > buildGrain {
+		parallel.Do(
+			func() { llo, lhi = t.annotateCD(n.Left) },
+			func() { rlo, rhi = t.annotateCD(n.Right) },
+		)
+	} else {
+		llo, lhi = t.annotateCD(n.Left)
+		rlo, rhi = t.annotateCD(n.Right)
+	}
+	n.CDMin, n.CDMax = math.Min(llo, rlo), math.Max(lhi, rhi)
+	return n.CDMin, n.CDMax
+}
+
+// RefreshComponents recomputes every node's Comp label from the union-find
+// structure: the common component of the node's points, or -1 if mixed.
+// One O(n) pass per Kruskal round (the paper's f_diff filter support).
+// It returns the per-point component labels.
+func (t *Tree) RefreshComponents(uf *unionfind.UF) []int32 {
+	if t.Root == nil {
+		return nil
+	}
+	comp := make([]int32, t.Pts.N)
+	for i := range comp {
+		comp[i] = uf.Find(int32(i))
+	}
+	t.refreshComp(t.Root, comp)
+	return comp
+}
+
+func (t *Tree) refreshComp(n *Node, comp []int32) int32 {
+	if n.IsLeaf() {
+		pts := t.Points(n)
+		c := comp[pts[0]]
+		for _, p := range pts[1:] {
+			if comp[p] != c {
+				c = -1
+				break
+			}
+		}
+		n.Comp = c
+		return c
+	}
+	var cl, cr int32
+	if n.Size() > buildGrain {
+		parallel.Do(
+			func() { cl = t.refreshComp(n.Left, comp) },
+			func() { cr = t.refreshComp(n.Right, comp) },
+		)
+	} else {
+		cl = t.refreshComp(n.Left, comp)
+		cr = t.refreshComp(n.Right, comp)
+	}
+	if cl >= 0 && cl == cr {
+		n.Comp = cl
+	} else {
+		n.Comp = -1
+	}
+	return n.Comp
+}
+
+// SphereDist returns the paper's d(A,B): the minimum distance between the
+// bounding spheres of a and b (clamped at zero).
+func SphereDist(a, b *Node) float64 {
+	var s float64
+	for k := range a.Ctr {
+		d := a.Ctr[k] - b.Ctr[k]
+		s += d * d
+	}
+	d := math.Sqrt(s) - a.Radius - b.Radius
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// BoxDist returns the minimum distance between the bounding boxes of a and b,
+// a tighter (and descent-monotone) lower bound on point distances.
+func BoxDist(a, b *Node) float64 {
+	return math.Sqrt(geometry.SqDistBoxes(a.Box, b.Box))
+}
+
+// BoxMaxDist returns the maximum distance between the bounding boxes of a
+// and b, an upper bound on point distances.
+func BoxMaxDist(a, b *Node) float64 {
+	return math.Sqrt(geometry.SqMaxDistBoxes(a.Box, b.Box))
+}

@@ -1,0 +1,151 @@
+package kdtree
+
+import (
+	"math"
+
+	"parclust/internal/geometry"
+	"parclust/internal/parallel"
+)
+
+// Neighbor is a k-NN result entry.
+type Neighbor struct {
+	Idx  int32
+	Dist float64
+}
+
+// knnHeap is a bounded max-heap of size k over squared distances, used so
+// the worst current candidate can be evicted in O(log k).
+type knnHeap struct {
+	idx []int32
+	sq  []float64
+	k   int
+}
+
+func newKNNHeap(k int) *knnHeap {
+	return &knnHeap{idx: make([]int32, 0, k), sq: make([]float64, 0, k), k: k}
+}
+
+func (h *knnHeap) worst() float64 {
+	if len(h.sq) < h.k {
+		return math.Inf(1)
+	}
+	return h.sq[0]
+}
+
+func (h *knnHeap) push(i int32, sq float64) {
+	if len(h.sq) < h.k {
+		h.idx = append(h.idx, i)
+		h.sq = append(h.sq, sq)
+		// sift up
+		c := len(h.sq) - 1
+		for c > 0 {
+			p := (c - 1) / 2
+			if h.sq[p] >= h.sq[c] {
+				break
+			}
+			h.sq[p], h.sq[c] = h.sq[c], h.sq[p]
+			h.idx[p], h.idx[c] = h.idx[c], h.idx[p]
+			c = p
+		}
+		return
+	}
+	if sq >= h.sq[0] {
+		return
+	}
+	h.sq[0], h.idx[0] = sq, i
+	// sift down
+	p := 0
+	for {
+		c := 2*p + 1
+		if c >= len(h.sq) {
+			break
+		}
+		if c+1 < len(h.sq) && h.sq[c+1] > h.sq[c] {
+			c++
+		}
+		if h.sq[p] >= h.sq[c] {
+			break
+		}
+		h.sq[p], h.sq[c] = h.sq[c], h.sq[p]
+		h.idx[p], h.idx[c] = h.idx[c], h.idx[p]
+		p = c
+	}
+}
+
+// KNN returns the k nearest neighbors of point q (including q itself),
+// sorted by increasing distance.
+func (t *Tree) KNN(q int32, k int) []Neighbor {
+	h := newKNNHeap(k)
+	t.knn(t.Root, q, h)
+	out := make([]Neighbor, len(h.sq))
+	// Heap-extract into sorted order (descending pops).
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = Neighbor{Idx: h.idx[0], Dist: math.Sqrt(h.sq[0])}
+		last := len(h.sq) - 1
+		h.sq[0], h.idx[0] = h.sq[last], h.idx[last]
+		h.sq, h.idx = h.sq[:last], h.idx[:last]
+		// sift down
+		p := 0
+		for {
+			c := 2*p + 1
+			if c >= len(h.sq) {
+				break
+			}
+			if c+1 < len(h.sq) && h.sq[c+1] > h.sq[c] {
+				c++
+			}
+			if h.sq[p] >= h.sq[c] {
+				break
+			}
+			h.sq[p], h.sq[c] = h.sq[c], h.sq[p]
+			h.idx[p], h.idx[c] = h.idx[c], h.idx[p]
+			p = c
+		}
+	}
+	return out
+}
+
+func (t *Tree) knn(n *Node, q int32, h *knnHeap) {
+	if n == nil {
+		return
+	}
+	qc := t.Pts.At(int(q))
+	if n.IsLeaf() {
+		for _, p := range t.Points(n) {
+			h.push(p, t.Pts.SqDist(int(q), int(p)))
+		}
+		return
+	}
+	dl := geometry.SqDistPointBox(qc, n.Left.Box)
+	dr := geometry.SqDistPointBox(qc, n.Right.Box)
+	first, second := n.Left, n.Right
+	df, ds := dl, dr
+	if dr < dl {
+		first, second = n.Right, n.Left
+		df, ds = dr, dl
+	}
+	if df < h.worst() {
+		t.knn(first, q, h)
+	}
+	if ds < h.worst() {
+		t.knn(second, q, h)
+	}
+}
+
+// CoreDistances computes, in parallel, the core distance of every point:
+// the distance to its minPts-nearest neighbor, counting the point itself
+// (Section 2.1). minPts = 1 gives all zeros.
+func (t *Tree) CoreDistances(minPts int) []float64 {
+	cd := make([]float64, t.Pts.N)
+	if minPts <= 1 {
+		return cd
+	}
+	parallel.For(t.Pts.N, 64, func(i int) {
+		h := newKNNHeap(minPts)
+		t.knn(t.Root, int32(i), h)
+		if len(h.sq) > 0 { // heap root is the k-th (or farthest available) NN
+			cd[i] = math.Sqrt(h.sq[0])
+		}
+	})
+	return cd
+}

@@ -1,0 +1,57 @@
+package kdtree
+
+import (
+	"math"
+
+	"parclust/internal/geometry"
+)
+
+// Metric abstracts the edge-weight function so the same MST machinery runs
+// Euclidean EMST and mutual-reachability HDBSCAN*. NodeLB/NodeUB bound the
+// metric over all point pairs drawn from two tree nodes; NodeLB must be
+// monotone non-decreasing under descent to children (box bounds are).
+type Metric interface {
+	// Dist is the metric distance between points i and j.
+	Dist(i, j int32) float64
+	// NodeLB lower-bounds Dist(p, q) for all p in a, q in b.
+	NodeLB(a, b *Node) float64
+	// NodeUB upper-bounds Dist(p, q) for all p in a, q in b.
+	NodeUB(a, b *Node) float64
+}
+
+// Euclidean is the plain Euclidean metric over a point set.
+type Euclidean struct{ Pts geometry.Points }
+
+// Dist returns the Euclidean distance between points i and j.
+func (m Euclidean) Dist(i, j int32) float64 { return m.Pts.Dist(int(i), int(j)) }
+
+// NodeLB returns the bounding-box distance between a and b.
+func (m Euclidean) NodeLB(a, b *Node) float64 { return BoxDist(a, b) }
+
+// NodeUB returns the maximum bounding-box distance between a and b.
+func (m Euclidean) NodeUB(a, b *Node) float64 { return BoxMaxDist(a, b) }
+
+// MutualReachability is the HDBSCAN* mutual reachability metric
+// d_m(p,q) = max{cd(p), cd(q), d(p,q)} (Section 2.1). Node bounds combine box
+// distances with the CDMin/CDMax annotations (AnnotateCoreDists must have
+// been called on the tree).
+type MutualReachability struct {
+	Pts geometry.Points
+	CD  []float64
+}
+
+// Dist returns the mutual reachability distance between points i and j.
+func (m MutualReachability) Dist(i, j int32) float64 {
+	d := m.Pts.Dist(int(i), int(j))
+	return math.Max(d, math.Max(m.CD[i], m.CD[j]))
+}
+
+// NodeLB lower-bounds the mutual reachability distance between nodes.
+func (m MutualReachability) NodeLB(a, b *Node) float64 {
+	return math.Max(BoxDist(a, b), math.Max(a.CDMin, b.CDMin))
+}
+
+// NodeUB upper-bounds the mutual reachability distance between nodes.
+func (m MutualReachability) NodeUB(a, b *Node) float64 {
+	return math.Max(BoxMaxDist(a, b), math.Max(a.CDMax, b.CDMax))
+}

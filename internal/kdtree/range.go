@@ -1,0 +1,65 @@
+package kdtree
+
+import "parclust/internal/geometry"
+
+// RangeQuery returns the indices of all points within Euclidean distance r
+// of point q (including q itself), in no particular order.
+func (t *Tree) RangeQuery(q int32, r float64) []int32 {
+	var out []int32
+	t.rangeQuery(t.Root, q, r*r, &out)
+	return out
+}
+
+// RangeCount returns the number of points within distance r of point q
+// (including q itself) without materializing them. Subtrees whose bounding
+// boxes lie entirely within the ball are counted wholesale.
+func (t *Tree) RangeCount(q int32, r float64) int {
+	return t.rangeCount(t.Root, q, r*r)
+}
+
+func (t *Tree) rangeQuery(n *Node, q int32, r2 float64, out *[]int32) {
+	if n == nil {
+		return
+	}
+	qc := t.Pts.At(int(q))
+	if geometry.SqDistPointBox(qc, n.Box) > r2 {
+		return
+	}
+	if n.IsLeaf() {
+		for _, p := range t.Points(n) {
+			if t.Pts.SqDist(int(q), int(p)) <= r2 {
+				*out = append(*out, p)
+			}
+		}
+		return
+	}
+	t.rangeQuery(n.Left, q, r2, out)
+	t.rangeQuery(n.Right, q, r2, out)
+}
+
+func (t *Tree) rangeCount(n *Node, q int32, r2 float64) int {
+	if n == nil {
+		return 0
+	}
+	qc := t.Pts.At(int(q))
+	if geometry.SqDistPointBox(qc, n.Box) > r2 {
+		return 0
+	}
+	if geometry.SqMaxDistBoxes(pointBox(qc), n.Box) <= r2 {
+		return n.Size() // whole subtree inside the ball
+	}
+	if n.IsLeaf() {
+		cnt := 0
+		for _, p := range t.Points(n) {
+			if t.Pts.SqDist(int(q), int(p)) <= r2 {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	return t.rangeCount(n.Left, q, r2) + t.rangeCount(n.Right, q, r2)
+}
+
+func pointBox(qc []float64) geometry.Box {
+	return geometry.Box{Lo: qc, Hi: qc}
+}

@@ -1,0 +1,97 @@
+package mst
+
+import (
+	"math"
+
+	"parclust/internal/geometry"
+	"parclust/internal/kdtree"
+	"parclust/internal/parallel"
+	"parclust/internal/unionfind"
+)
+
+// Boruvka computes the EMST with Borůvka rounds over a k-d tree: each round
+// finds, for every point, its nearest point in a different union-find
+// component (pruning subtrees that lie wholly in the point's component),
+// reduces those candidates to one lightest outgoing edge per component, and
+// merges. It stands in for the dual-tree Borůvka baseline (mlpack) that the
+// paper's Table 3 compares against; run with GOMAXPROCS=1 it is the
+// sequential baseline, and it parallelizes over points otherwise.
+func Boruvka(t *kdtree.Tree, stats *Stats) []Edge {
+	n := t.Pts.N
+	if n <= 1 {
+		return nil
+	}
+	uf := unionfind.New(n)
+	out := make([]Edge, 0, n-1)
+	cand := make([]Edge, n) // cand[i]: best outgoing edge found from point i
+	for uf.Components() > 1 {
+		stats.AddRound()
+		var comp []int32
+		stats.Time("refresh", func() {
+			comp = t.RefreshComponents(uf)
+		})
+		stats.Time("query", func() {
+			parallel.For(n, 32, func(i int) {
+				q := int32(i)
+				best := Edge{U: -1, V: -1, W: math.Inf(1)}
+				nearestOutside(t, t.Root, q, comp, &best)
+				cand[i] = best
+			})
+		})
+		stats.Time("merge", func() {
+			// Reduce candidates to the lightest edge per component, then merge.
+			bestPer := make(map[int32]Edge, uf.Components())
+			for i := 0; i < n; i++ {
+				e := cand[i]
+				if e.U < 0 {
+					continue
+				}
+				c := comp[i]
+				if cur, ok := bestPer[c]; !ok || Less(e, cur) {
+					bestPer[c] = e
+				}
+			}
+			for _, e := range bestPer {
+				if uf.Union(e.U, e.V) {
+					out = append(out, e)
+				}
+			}
+		})
+	}
+	parallel.Sort(out, Less)
+	return out
+}
+
+// nearestOutside finds the nearest point to q that lies in a different
+// component, writing the candidate edge into best.
+func nearestOutside(t *kdtree.Tree, nd *kdtree.Node, q int32, comp []int32, best *Edge) {
+	if nd.Comp >= 0 && nd.Comp == comp[q] {
+		return // subtree entirely in q's component
+	}
+	qc := t.Pts.At(int(q))
+	if geometry.SqDistPointBox(qc, nd.Box) >= best.W*best.W {
+		return
+	}
+	if nd.IsLeaf() {
+		for _, p := range t.Points(nd) {
+			if comp[p] == comp[q] {
+				continue
+			}
+			d := t.Pts.Dist(int(q), int(p))
+			e := MakeEdge(q, p, d)
+			if best.U < 0 || Less(e, *best) {
+				*best = e
+			}
+		}
+		return
+	}
+	dl := geometry.SqDistPointBox(qc, nd.Left.Box)
+	dr := geometry.SqDistPointBox(qc, nd.Right.Box)
+	if dl <= dr {
+		nearestOutside(t, nd.Left, q, comp, best)
+		nearestOutside(t, nd.Right, q, comp, best)
+	} else {
+		nearestOutside(t, nd.Right, q, comp, best)
+		nearestOutside(t, nd.Left, q, comp, best)
+	}
+}

@@ -1,0 +1,103 @@
+package mst
+
+import (
+	"fmt"
+	"math"
+
+	"parclust/internal/kdtree"
+	"parclust/internal/parallel"
+	"parclust/internal/unionfind"
+	"parclust/internal/wspd"
+)
+
+// maxRounds caps filter-Kruskal rounds; beta doubles each round so any
+// legitimate run finishes in O(log n) rounds. Exceeding the cap means an
+// internal invariant is broken.
+const maxRounds = 200
+
+// gfkPair is a WSPD pair with its lazily computed, cached BCCP.
+type gfkPair struct {
+	a, b *kdtree.Node
+	res  kdtree.BCCPResult // res.U < 0 when not yet computed
+}
+
+func (p *gfkPair) card() int { return p.a.Size() + p.b.Size() }
+
+func connected(a, b *kdtree.Node) bool { return a.Comp >= 0 && a.Comp == b.Comp }
+
+// GFK is the parallel GeoFilterKruskal algorithm (Algorithm 2). It
+// materializes the full WSPD once, then proceeds in rounds: pairs with
+// cardinality at most beta whose BCCP is no heavier than the lightest
+// possible edge of the remaining pairs are resolved with Kruskal; pairs
+// whose endpoints become connected are filtered out; beta doubles.
+func GFK(cfg Config) []Edge {
+	t := cfg.Tree
+	n := t.Pts.N
+	if n <= 1 {
+		return nil
+	}
+	var raw []wspd.Pair
+	cfg.Stats.Time("wspd", func() {
+		raw = wspd.Decompose(t, cfg.Sep)
+	})
+	cfg.Stats.AddPairs(int64(len(raw)))
+	cfg.Stats.NotePeak(int64(len(raw)))
+	s := make([]*gfkPair, len(raw))
+	parallel.For(len(raw), 0, func(i int) {
+		s[i] = &gfkPair{a: raw[i].A, b: raw[i].B, res: kdtree.BCCPResult{U: -1, V: -1, W: math.NaN()}}
+	})
+
+	uf := unionfind.New(n)
+	out := make([]Edge, 0, n-1)
+	beta := 2
+	for round := 0; len(out) < n-1; round++ {
+		if round >= roundCap(cfg, n) {
+			panic(fmt.Sprintf("mst: GFK exceeded %d rounds (n=%d, |S|=%d, |out|=%d)", maxRounds, n, len(s), len(out)))
+		}
+		cfg.Stats.AddRound()
+
+		// Line 4: partition by cardinality.
+		sl, su := parallel.Split(s, func(p *gfkPair) bool { return p.card() <= beta })
+
+		// Line 5: rho_hi lower-bounds every edge the large pairs can produce.
+		rhoHi := math.Inf(1)
+		if len(su) > 0 {
+			_, rhoHi = parallel.ReduceMin(len(su), 0, func(i int) float64 {
+				return cfg.Metric.NodeLB(su[i].a, su[i].b)
+			})
+		}
+
+		// Line 6: compute (and cache) BCCPs of the small pairs, then keep
+		// those no heavier than rho_hi.
+		cfg.Stats.Time("bccp", func() {
+			parallel.For(len(sl), 4, func(i int) {
+				if sl[i].res.U < 0 {
+					sl[i].res = kdtree.BCCP(t, cfg.Metric, sl[i].a, sl[i].b)
+					cfg.Stats.AddBCCP(1)
+				}
+			})
+		})
+		sl1, sl2 := parallel.Split(sl, func(p *gfkPair) bool { return p.res.W <= rhoHi })
+
+		// Lines 7-8: Kruskal on the batch.
+		batch := make([]Edge, len(sl1))
+		parallel.For(len(sl1), 0, func(i int) {
+			batch[i] = MakeEdge(sl1[i].res.U, sl1[i].res.V, sl1[i].res.W)
+		})
+		cfg.Stats.Time("kruskal", func() {
+			out = KruskalBatch(batch, uf, out)
+		})
+
+		// Line 9: drop pairs whose sides are now in one component.
+		t.RefreshComponents(uf)
+		rest := append(sl2, su...)
+		s = parallel.Filter(rest, func(p *gfkPair) bool { return !connected(p.a, p.b) })
+		cfg.Stats.NotePeak(int64(len(s)))
+
+		if len(s) == 0 && len(out) < n-1 {
+			panic("mst: GFK ran out of pairs before completing the MST")
+		}
+		beta = nextBeta(cfg, beta)
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package mst
+
+import (
+	"parclust/internal/parallel"
+	"parclust/internal/unionfind"
+)
+
+// KruskalBatch runs one Kruskal pass over a batch of candidate edges:
+// it sorts the batch in parallel by the shared total order and then scans
+// it, unioning endpoints and appending accepted edges to out. Batches must
+// arrive in non-decreasing weight ranges for the overall result to be an
+// MST (which the GFK round structure guarantees).
+func KruskalBatch(edges []Edge, uf *unionfind.UF, out []Edge) []Edge {
+	parallel.Sort(edges, Less)
+	for _, e := range edges {
+		if uf.Union(e.U, e.V) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Kruskal computes an MST (or spanning forest) of the given edge list over
+// n vertices, returning the accepted edges in weight order.
+func Kruskal(n int, edges []Edge) []Edge {
+	uf := unionfind.New(n)
+	return KruskalBatch(append([]Edge(nil), edges...), uf, make([]Edge, 0, n-1))
+}

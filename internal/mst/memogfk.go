@@ -1,0 +1,192 @@
+package mst
+
+import (
+	"fmt"
+	"math"
+
+	"parclust/internal/kdtree"
+	"parclust/internal/parallel"
+	"parclust/internal/unionfind"
+)
+
+// MemoGFK is the memory-optimized parallel GeoFilterKruskal (Algorithm 3).
+// Instead of materializing the WSPD, each round performs two pruned k-d tree
+// traversals: GetRho computes the weight ceiling rho_hi for the round (the
+// minimum node-pair lower bound over not-yet-connected well-separated pairs
+// with cardinality above beta), and GetPairs retrieves only the pairs whose
+// BCCP lands in [rho_lo, rho_hi), feeding their edges to Kruskal.
+func MemoGFK(cfg Config) []Edge {
+	t := cfg.Tree
+	n := t.Pts.N
+	if n <= 1 {
+		return nil
+	}
+	uf := unionfind.New(n)
+	out := make([]Edge, 0, n-1)
+	beta := 2
+	rhoLo := 0.0
+	for round := 0; len(out) < n-1; round++ {
+		if round >= roundCap(cfg, n) {
+			panic(fmt.Sprintf("mst: MemoGFK exceeded %d rounds (n=%d, |out|=%d)", maxRounds, n, len(out)))
+		}
+		cfg.Stats.AddRound()
+		t.RefreshComponents(uf)
+
+		// Line 4: rho_hi via the first pruned traversal.
+		var rhoHi float64
+		cfg.Stats.Time("wspd", func() {
+			rhoHi = getRho(cfg, t.Root, beta)
+		})
+
+		if rhoHi > rhoLo {
+			// Line 5: retrieve only pairs with BCCP in [rho_lo, rho_hi).
+			var batch []Edge
+			cfg.Stats.Time("wspd", func() {
+				batch = getPairsNode(cfg, t.Root, beta, rhoLo, rhoHi)
+			})
+			cfg.Stats.AddPairs(int64(len(batch)))
+			cfg.Stats.NotePeak(int64(len(batch)))
+			// Lines 6-7.
+			cfg.Stats.Time("kruskal", func() {
+				out = KruskalBatch(batch, uf, out)
+			})
+			if !math.IsInf(rhoHi, 1) {
+				rhoLo = rhoHi
+			} else if len(batch) == 0 && len(out) < n-1 {
+				panic("mst: MemoGFK stalled with an incomplete MST")
+			}
+		}
+		beta = nextBeta(cfg, beta)
+	}
+	return out
+}
+
+// getRho traverses the implicit WSPD and returns the minimum metric lower
+// bound over well-separated, not-yet-connected pairs with cardinality
+// greater than beta (+Inf when none exist).
+func getRho(cfg Config, root *kdtree.Node, beta int) float64 {
+	rho := parallel.NewAtomicMinFloat64(math.Inf(1))
+	getRhoNode(cfg, root, beta, rho)
+	return rho.Load()
+}
+
+func getRhoNode(cfg Config, a *kdtree.Node, beta int, rho *parallel.AtomicMinFloat64) {
+	if a.IsLeaf() || a.Size() <= 1 {
+		return
+	}
+	if a.Comp >= 0 { // whole subtree already in one component
+		return
+	}
+	if a.Size() <= beta { // every descendant pair has cardinality <= beta
+		return
+	}
+	if a.Size() > spawnSize {
+		parallel.DoN(
+			func() { getRhoNode(cfg, a.Left, beta, rho) },
+			func() { getRhoNode(cfg, a.Right, beta, rho) },
+			func() { getRhoPair(cfg, a.Left, a.Right, beta, rho) },
+		)
+		return
+	}
+	getRhoNode(cfg, a.Left, beta, rho)
+	getRhoNode(cfg, a.Right, beta, rho)
+	getRhoPair(cfg, a.Left, a.Right, beta, rho)
+}
+
+func getRhoPair(cfg Config, p, q *kdtree.Node, beta int, rho *parallel.AtomicMinFloat64) {
+	if connected(p, q) {
+		return
+	}
+	if p.Size()+q.Size() <= beta {
+		return // this pair and all of its descendants run this round
+	}
+	lb := cfg.Metric.NodeLB(p, q)
+	if lb >= rho.Load() {
+		return // descendants only have larger lower bounds
+	}
+	if p.Radius < q.Radius {
+		p, q = q, p
+	}
+	if cfg.Sep.WellSeparated(p, q) {
+		rho.Min(lb)
+		return
+	}
+	if p.IsLeaf() {
+		p, q = q, p
+	}
+	if p.Size()+q.Size() > spawnSize {
+		parallel.Do(
+			func() { getRhoPair(cfg, p.Left, q, beta, rho) },
+			func() { getRhoPair(cfg, p.Right, q, beta, rho) },
+		)
+		return
+	}
+	getRhoPair(cfg, p.Left, q, beta, rho)
+	getRhoPair(cfg, p.Right, q, beta, rho)
+}
+
+// getPairsNode retrieves the edges of well-separated pairs whose BCCP falls
+// in [rhoLo, rhoHi), pruning connected pairs and pairs whose bounds place
+// them wholly outside the range (Figure 3).
+func getPairsNode(cfg Config, a *kdtree.Node, beta int, rhoLo, rhoHi float64) []Edge {
+	if a.IsLeaf() || a.Size() <= 1 || a.Comp >= 0 {
+		return nil
+	}
+	var left, right, mid []Edge
+	if a.Size() > spawnSize {
+		parallel.DoN(
+			func() { left = getPairsNode(cfg, a.Left, beta, rhoLo, rhoHi) },
+			func() { right = getPairsNode(cfg, a.Right, beta, rhoLo, rhoHi) },
+			func() { mid = getPairsPair(cfg, a.Left, a.Right, beta, rhoLo, rhoHi) },
+		)
+	} else {
+		left = getPairsNode(cfg, a.Left, beta, rhoLo, rhoHi)
+		right = getPairsNode(cfg, a.Right, beta, rhoLo, rhoHi)
+		mid = getPairsPair(cfg, a.Left, a.Right, beta, rhoLo, rhoHi)
+	}
+	out := make([]Edge, 0, len(left)+len(right)+len(mid))
+	out = append(out, left...)
+	out = append(out, right...)
+	out = append(out, mid...)
+	return out
+}
+
+func getPairsPair(cfg Config, p, q *kdtree.Node, beta int, rhoLo, rhoHi float64) []Edge {
+	if connected(p, q) {
+		return nil
+	}
+	if cfg.Metric.NodeLB(p, q) >= rhoHi {
+		return nil // BCCPs of this pair and its descendants are >= rhoHi
+	}
+	if cfg.Metric.NodeUB(p, q) < rhoLo {
+		return nil // BCCPs of this pair and its descendants are < rhoLo
+	}
+	if p.Radius < q.Radius {
+		p, q = q, p
+	}
+	if cfg.Sep.WellSeparated(p, q) {
+		res := kdtree.BCCP(cfg.Tree, cfg.Metric, p, q)
+		cfg.Stats.AddBCCP(1)
+		if res.W >= rhoLo && res.W < rhoHi {
+			return []Edge{MakeEdge(res.U, res.V, res.W)}
+		}
+		return nil
+	}
+	if p.IsLeaf() {
+		p, q = q, p
+	}
+	var l, r []Edge
+	if p.Size()+q.Size() > spawnSize {
+		parallel.Do(
+			func() { l = getPairsPair(cfg, p.Left, q, beta, rhoLo, rhoHi) },
+			func() { r = getPairsPair(cfg, p.Right, q, beta, rhoLo, rhoHi) },
+		)
+	} else {
+		l = getPairsPair(cfg, p.Left, q, beta, rhoLo, rhoHi)
+		r = getPairsPair(cfg, p.Right, q, beta, rhoLo, rhoHi)
+	}
+	return append(l, r...)
+}
+
+// spawnSize mirrors the WSPD spawning threshold.
+const spawnSize = 1024

@@ -1,0 +1,67 @@
+package mst
+
+import (
+	"parclust/internal/kdtree"
+	"parclust/internal/parallel"
+	"parclust/internal/wspd"
+)
+
+// Config carries the inputs shared by the WSPD-based MST algorithms.
+type Config struct {
+	Tree   *kdtree.Tree
+	Metric kdtree.Metric
+	Sep    wspd.Separation
+	Stats  *Stats // optional
+
+	// LinearBeta switches the GFK/MemoGFK round schedule from doubling the
+	// cardinality bound (the paper's choice, crucial for the O(log n)
+	// round bound of Theorem 3.1) to the linear growth of the sequential
+	// algorithm of Chatterjee et al. Used by the ablation benchmarks.
+	LinearBeta bool
+}
+
+// nextBeta advances the round cardinality bound.
+func nextBeta(cfg Config, beta int) int {
+	if cfg.LinearBeta {
+		return beta + 2
+	}
+	return beta * 2
+}
+
+// roundCap bounds the number of filter rounds: logarithmic for the
+// doubling schedule, linear for the ablation schedule.
+func roundCap(cfg Config, n int) int {
+	if cfg.LinearBeta {
+		return n + maxRounds
+	}
+	return maxRounds
+}
+
+// Naive is EMST-Naive from Section 5: materialize the full WSPD, compute the
+// BCCP of every pair in parallel, and run one Kruskal pass over all edges.
+func Naive(cfg Config) []Edge {
+	t := cfg.Tree
+	n := t.Pts.N
+	if n <= 1 {
+		return nil
+	}
+	var pairs []wspd.Pair
+	cfg.Stats.Time("wspd", func() {
+		pairs = wspd.Decompose(t, cfg.Sep)
+	})
+	cfg.Stats.AddPairs(int64(len(pairs)))
+	cfg.Stats.NotePeak(int64(len(pairs)))
+	edges := make([]Edge, len(pairs))
+	cfg.Stats.Time("bccp", func() {
+		parallel.For(len(pairs), 8, func(i int) {
+			r := kdtree.BCCP(t, cfg.Metric, pairs[i].A, pairs[i].B)
+			edges[i] = MakeEdge(r.U, r.V, r.W)
+		})
+	})
+	cfg.Stats.AddBCCP(int64(len(pairs)))
+	var out []Edge
+	cfg.Stats.Time("kruskal", func() {
+		out = Kruskal(n, edges)
+	})
+	return out
+}

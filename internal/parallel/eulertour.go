@@ -1,0 +1,225 @@
+package parallel
+
+// Euler tour and list ranking, used by the dendrogram algorithm of Section 4
+// to root trees and compute vertex distances from the start vertex.
+
+// TreeEdge is an undirected tree edge between vertices U and V.
+type TreeEdge struct {
+	U, V int32
+}
+
+// EulerTour holds a directed circuit traversing each tree edge twice (once in
+// each direction). Arc 2*e is edge e in input orientation (U->V); arc 2*e+1
+// is the reverse. Next[a] is the successor arc of a in the circuit.
+type EulerTour struct {
+	Edges []TreeEdge
+	Next  []int32
+	// FirstArc[v] is one outgoing arc of vertex v (-1 if isolated).
+	FirstArc []int32
+}
+
+// arcHead returns the destination vertex of arc a.
+func arcHead(edges []TreeEdge, a int32) int32 {
+	e := edges[a>>1]
+	if a&1 == 0 {
+		return e.V
+	}
+	return e.U
+}
+
+// arcTail returns the source vertex of arc a.
+func arcTail(edges []TreeEdge, a int32) int32 {
+	e := edges[a>>1]
+	if a&1 == 0 {
+		return e.U
+	}
+	return e.V
+}
+
+// NewEulerTour builds an Euler tour of the tree with n vertices. The standard
+// construction links, for every arc a = (u,v), Next[a] to the arc after
+// (v,u) in v's adjacency ring.
+func NewEulerTour(n int, edges []TreeEdge) *EulerTour {
+	m := len(edges)
+	// Bucket arcs by tail vertex (counting sort).
+	cnt := make([]int32, n+1)
+	for a := int32(0); a < int32(2*m); a++ {
+		cnt[arcTail(edges, a)+1]++
+	}
+	for v := 0; v < n; v++ {
+		cnt[v+1] += cnt[v]
+	}
+	pos := append([]int32(nil), cnt[:n]...)
+	adj := make([]int32, 2*m)
+	for a := int32(0); a < int32(2*m); a++ {
+		t := arcTail(edges, a)
+		adj[pos[t]] = a
+		pos[t]++
+	}
+	// ringNext[a]: next arc with the same tail (cyclic within the bucket).
+	ringNext := make([]int32, 2*m)
+	first := make([]int32, n)
+	for v := range first {
+		first[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := cnt[v], cnt[v+1]
+		if lo == hi {
+			continue
+		}
+		first[v] = adj[lo]
+		for i := lo; i < hi; i++ {
+			j := i + 1
+			if j == hi {
+				j = lo
+			}
+			ringNext[adj[i]] = adj[j]
+		}
+	}
+	next := make([]int32, 2*m)
+	For(2*m, 0, func(ai int) {
+		a := int32(ai)
+		next[a] = ringNext[a^1]
+	})
+	return &EulerTour{Edges: edges, Next: next, FirstArc: first}
+}
+
+// ListRank computes, for a linked list given by next (next[i] = -1 at the
+// tail), the suffix sums of value from each node to the end of the list.
+// It uses pointer jumping for O(n log n) work and O(log n) depth; for small
+// inputs it falls back to a sequential pass.
+func ListRank(next []int32, value []float64) []float64 {
+	n := len(next)
+	rank := append([]float64(nil), value...)
+	if n == 0 {
+		return rank
+	}
+	if Workers() == 1 || n < 1<<14 {
+		// Sequential: process in reverse topological order via successor chain.
+		order := make([]int32, 0, n)
+		indeg := make([]int32, n)
+		for _, nx := range next {
+			if nx >= 0 {
+				indeg[nx]++
+			}
+		}
+		for i := int32(0); i < int32(n); i++ {
+			if indeg[i] == 0 {
+				// walk the chain from each head
+				for j := i; j >= 0; j = next[j] {
+					order = append(order, j)
+				}
+			}
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			j := order[i]
+			if next[j] >= 0 {
+				rank[j] += rank[next[j]]
+			}
+		}
+		return rank
+	}
+	nx := append([]int32(nil), next...)
+	tmpR := make([]float64, n)
+	tmpN := make([]int32, n)
+	for {
+		done := true
+		For(n, 0, func(i int) {
+			if nx[i] >= 0 {
+				tmpR[i] = rank[i] + rank[nx[i]]
+				tmpN[i] = nx[nx[i]]
+			} else {
+				tmpR[i] = rank[i]
+				tmpN[i] = -1
+			}
+		})
+		rank, tmpR = tmpR, rank
+		nx, tmpN = tmpN, nx
+		for i := 0; i < n; i++ {
+			if nx[i] >= 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			return rank
+		}
+	}
+}
+
+// RootTree orients the tree with n vertices at root s using its Euler tour:
+// it returns parent[v] (parent vertex, -1 for s) and depth[v] (unweighted
+// hop distance from s, the paper's "vertex distance").
+func RootTree(n int, edges []TreeEdge, s int32) (parent, depth []int32) {
+	parent = make([]int32, n)
+	depth = make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+		depth[i] = -1
+	}
+	depth[s] = 0
+	if len(edges) == 0 {
+		return parent, depth
+	}
+	et := NewEulerTour(n, edges)
+	start := et.FirstArc[s]
+	if start < 0 {
+		return parent, depth
+	}
+	m2 := len(et.Next)
+	// Break the circuit at the arc entering `start`, then list-rank with
+	// +1 on "downward" arcs. An arc a=(u,v) is downward iff it is the first
+	// of {a, a^1} on the tour starting at `start`; we determine this from
+	// tour positions, computed with a unit-value list rank.
+	next := make([]int32, m2)
+	copy(next, et.Next)
+	// Find predecessor of start to cut the cycle.
+	var pred int32 = -1
+	for a := int32(0); a < int32(m2); a++ {
+		if next[a] == start {
+			pred = a
+			break
+		}
+	}
+	next[pred] = -1
+	ones := make([]float64, m2)
+	for i := range ones {
+		ones[i] = 1
+	}
+	suffix := ListRank(next, ones) // position from end, start has the max
+	// Arc a appears before arc b on the tour iff suffix[a] > suffix[b].
+	For(m2/2, 0, func(e int) {
+		a, b := int32(2*e), int32(2*e+1)
+		down := a
+		if suffix[b] > suffix[a] {
+			down = b
+		}
+		u, v := arcTail(et.Edges, down), arcHead(et.Edges, down)
+		parent[v] = u
+	})
+	// Depth via list ranking: +1 on downward arcs, -1 on upward arcs.
+	vals := make([]float64, m2)
+	For(m2/2, 0, func(e int) {
+		a, b := int32(2*e), int32(2*e+1)
+		if suffix[a] > suffix[b] {
+			vals[a], vals[b] = 1, -1
+		} else {
+			vals[a], vals[b] = -1, 1
+		}
+	})
+	suf := ListRank(next, vals)
+	// depth(head(a)) for downward arcs: total downs minus ups from tour start
+	// to a inclusive = total(vals) - suffix-after(a) ... simpler: depth of the
+	// head of arc a equals sum of vals over arcs from start..a, which is
+	// total - (suf[a] - vals[a]).
+	total := 0.0 // the Euler tour returns to s, so the total is 0
+	For(m2, 0, func(ai int) {
+		a := int32(ai)
+		h := arcHead(et.Edges, a)
+		d := total - (suf[a] - vals[a])
+		if vals[a] == 1 { // downward arc determines depth of its head
+			depth[h] = int32(d + 0.5)
+		}
+	})
+	return parent, depth
+}

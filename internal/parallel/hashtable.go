@@ -1,0 +1,98 @@
+package parallel
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Map is the parallel hash table of Section 2.2: a lock-free linear-probing
+// table over int64 keys and int64 values supporting n concurrent inserts
+// and finds in O(n) work and O(log n) depth w.h.p. The table is insert-only
+// (no deletes) with last-writer-wins semantics on duplicate keys, which is
+// what the dendrogram contraction step needs; capacity is fixed at
+// construction.
+type Map struct {
+	mask  uint64
+	keys  []int64 // emptyKey when unoccupied
+	vals  []int64
+	count int64
+}
+
+const emptyKey = int64(-0x8000000000000000)
+
+// NewMap returns a table able to hold at least capacity entries.
+func NewMap(capacity int) *Map {
+	if capacity < 1 {
+		capacity = 1
+	}
+	size := 1 << uint(bits.Len(uint(capacity*2)))
+	m := &Map{mask: uint64(size - 1), keys: make([]int64, size), vals: make([]int64, size)}
+	for i := range m.keys {
+		m.keys[i] = emptyKey
+	}
+	return m
+}
+
+// hash64 is a Fibonacci/avalanche mix (splitmix64 finalizer).
+func hash64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Put inserts or overwrites key. Safe for concurrent use. Keys must not be
+// the reserved minimum int64 value. Put panics when the table is full.
+func (m *Map) Put(key, val int64) {
+	if key == emptyKey {
+		panic("parallel: reserved key")
+	}
+	i := hash64(uint64(key)) & m.mask
+	for probes := uint64(0); probes <= m.mask; probes++ {
+		slot := &m.keys[i]
+		cur := atomic.LoadInt64(slot)
+		if cur == key {
+			atomic.StoreInt64(&m.vals[i], val)
+			return
+		}
+		if cur == emptyKey {
+			if atomic.CompareAndSwapInt64(slot, emptyKey, key) {
+				atomic.StoreInt64(&m.vals[i], val)
+				atomic.AddInt64(&m.count, 1)
+				return
+			}
+			// Lost the race; re-examine the slot (it may now hold our key).
+			if atomic.LoadInt64(slot) == key {
+				atomic.StoreInt64(&m.vals[i], val)
+				return
+			}
+		}
+		i = (i + 1) & m.mask
+	}
+	panic("parallel: hash table full")
+}
+
+// Get returns the value for key and whether it is present. The table is
+// phase-concurrent in the sense of the paper's hash table primitive: any
+// number of Puts may run concurrently, and any number of Gets may run
+// concurrently, but Gets must be separated from Puts by a barrier (a Get
+// racing a Put of the same key may observe a partially published entry).
+func (m *Map) Get(key int64) (int64, bool) {
+	i := hash64(uint64(key)) & m.mask
+	for probes := uint64(0); probes <= m.mask; probes++ {
+		cur := atomic.LoadInt64(&m.keys[i])
+		if cur == key {
+			return atomic.LoadInt64(&m.vals[i]), true
+		}
+		if cur == emptyKey {
+			return 0, false
+		}
+		i = (i + 1) & m.mask
+	}
+	return 0, false
+}
+
+// Len returns the number of distinct keys inserted.
+func (m *Map) Len() int { return int(atomic.LoadInt64(&m.count)) }

@@ -1,0 +1,159 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapBasic(t *testing.T) {
+	m := NewMap(10)
+	if _, ok := m.Get(5); ok {
+		t.Fatal("empty map claims to contain a key")
+	}
+	m.Put(5, 50)
+	m.Put(-7, 70)
+	m.Put(5, 51) // overwrite
+	if v, ok := m.Get(5); !ok || v != 51 {
+		t.Fatalf("Get(5) = %d,%v", v, ok)
+	}
+	if v, ok := m.Get(-7); !ok || v != 70 {
+		t.Fatalf("Get(-7) = %d,%v", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", m.Len())
+	}
+}
+
+func TestMapAgainstBuiltin(t *testing.T) {
+	f := func(keys []int64, vals []int64) bool {
+		m := NewMap(len(keys) + 1)
+		ref := map[int64]int64{}
+		for i, k := range keys {
+			if k == emptyKey {
+				continue
+			}
+			v := int64(i)
+			if i < len(vals) {
+				v = vals[i]
+			}
+			m.Put(k, v)
+			ref[k] = v
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := m.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapConcurrentPuts(t *testing.T) {
+	const n = 20000
+	m := NewMap(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 8 {
+				m.Put(int64(i), int64(2*i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != n {
+		t.Fatalf("Len() = %d, want %d", m.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := m.Get(int64(i)); !ok || v != int64(2*i) {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestMapConcurrentDuplicateKeys(t *testing.T) {
+	m := NewMap(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Put(int64(i%16), int64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != 16 {
+		t.Fatalf("Len() = %d, want 16", m.Len())
+	}
+	for i := 0; i < 16; i++ {
+		if v, ok := m.Get(int64(i)); !ok || v < 0 || v >= 8 {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestSemisortGroups(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 50000} {
+		items := make([]int64, n)
+		for i := range items {
+			items[i] = int64(i % 37)
+		}
+		groups := Semisort(items, func(x int64) int64 { return x })
+		distinct := 37
+		if n == 0 {
+			distinct = 0
+		} else if n < 37 {
+			distinct = n
+		}
+		if len(groups) != distinct {
+			t.Fatalf("n=%d: %d groups, want %d", n, len(groups), distinct)
+		}
+		total := 0
+		for _, g := range groups {
+			total += len(g)
+			for _, v := range g[1:] {
+				if v != g[0] {
+					t.Fatal("group mixes keys")
+				}
+			}
+		}
+		if total != n {
+			t.Fatalf("groups cover %d of %d items", total, n)
+		}
+	}
+}
+
+func TestSemisortQuick(t *testing.T) {
+	f := func(keys []int16) bool {
+		items := make([]int64, len(keys))
+		counts := map[int64]int{}
+		for i, k := range keys {
+			items[i] = int64(k)
+			counts[int64(k)]++
+		}
+		groups := Semisort(items, func(x int64) int64 { return x })
+		if len(groups) != len(counts) {
+			return false
+		}
+		for _, g := range groups {
+			if len(g) != counts[g[0]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,365 @@
+package parallel
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 10000} {
+		hit := make([]int32, n)
+		var mu sync.Mutex
+		For(n, 3, func(i int) {
+			mu.Lock()
+			hit[i]++
+			mu.Unlock()
+		})
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d hit %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForRangePartition(t *testing.T) {
+	n := 12345
+	covered := make([]bool, n)
+	var mu sync.Mutex
+	ForRange(n, 100, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad range [%d,%d)", lo, hi)
+		}
+		mu.Lock()
+		for i := lo; i < hi; i++ {
+			if covered[i] {
+				t.Errorf("index %d covered twice", i)
+			}
+			covered[i] = true
+		}
+		mu.Unlock()
+	})
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("index %d not covered", i)
+		}
+	}
+}
+
+func TestDoNRunsAll(t *testing.T) {
+	var a, b, c bool
+	DoN(func() { a = true }, func() { b = true }, func() { c = true })
+	if !a || !b || !c {
+		t.Fatal("DoN skipped a function")
+	}
+}
+
+func TestPrefixSum(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, 5000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := make([]int, n)
+		want := make([]int, n)
+		sum := 0
+		for i := range a {
+			a[i] = rng.Intn(10)
+			want[i] = sum
+			sum += a[i]
+		}
+		got := PrefixSum(a)
+		if got != sum {
+			t.Fatalf("n=%d: total %d, want %d", n, got, sum)
+		}
+		if n > 0 && !reflect.DeepEqual(a, want) {
+			t.Fatalf("n=%d: prefix mismatch", n)
+		}
+	}
+}
+
+func TestPrefixSumLargeParallel(t *testing.T) {
+	n := 100000
+	a := make([]int, n)
+	for i := range a {
+		a[i] = i % 7
+	}
+	b := append([]int(nil), a...)
+	totA := PrefixSum(a)
+	// sequential reference
+	sum := 0
+	for i := range b {
+		v := b[i]
+		b[i] = sum
+		sum += v
+	}
+	if totA != sum || !reflect.DeepEqual(a, b) {
+		t.Fatal("parallel prefix sum differs from sequential")
+	}
+}
+
+func TestFilterMatchesSequential(t *testing.T) {
+	f := func(a []int16) bool {
+		in := make([]int, len(a))
+		for i, v := range a {
+			in[i] = int(v)
+		}
+		pred := func(x int) bool { return x%3 == 0 }
+		var want []int
+		for _, v := range in {
+			if pred(v) {
+				want = append(want, v)
+			}
+		}
+		got := Filter(in, pred)
+		return reflect.DeepEqual(got, want) || (len(got) == 0 && len(want) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterLarge(t *testing.T) {
+	n := 50000
+	in := make([]int, n)
+	for i := range in {
+		in[i] = i
+	}
+	got := Filter(in, func(x int) bool { return x%2 == 0 })
+	if len(got) != n/2 {
+		t.Fatalf("got %d elements, want %d", len(got), n/2)
+	}
+	for i, v := range got {
+		if v != 2*i {
+			t.Fatalf("got[%d]=%d, want %d", i, v, 2*i)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	for _, n := range []int{0, 1, 17, 50000} {
+		in := make([]int, n)
+		for i := range in {
+			in[i] = i * 3 % 11
+		}
+		pred := func(x int) bool { return x < 5 }
+		yes, no := Split(in, pred)
+		if len(yes)+len(no) != n {
+			t.Fatalf("n=%d: split sizes %d+%d", n, len(yes), len(no))
+		}
+		var wantYes, wantNo []int
+		for _, v := range in {
+			if pred(v) {
+				wantYes = append(wantYes, v)
+			} else {
+				wantNo = append(wantNo, v)
+			}
+		}
+		for i := range wantYes {
+			if yes[i] != wantYes[i] {
+				t.Fatalf("yes[%d] mismatch", i)
+			}
+		}
+		for i := range wantNo {
+			if no[i] != wantNo[i] {
+				t.Fatalf("no[%d] mismatch", i)
+			}
+		}
+	}
+}
+
+func TestSortMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 1, 2, 100, 1 << 14} {
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = rng.Float64()
+		}
+		b := append([]float64(nil), a...)
+		Sort(a, func(x, y float64) bool { return x < y })
+		sort.Float64s(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: parallel sort differs at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestSortQuick(t *testing.T) {
+	f := func(a []float32) bool {
+		x := append([]float32(nil), a...)
+		Sort(x, func(p, q float32) bool { return p < q })
+		return sort.SliceIsSorted(x, func(i, j int) bool { return x[i] < x[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNthElement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 50, 1000} {
+		for trial := 0; trial < 5; trial++ {
+			a := make([]int, n)
+			for i := range a {
+				a[i] = rng.Intn(100)
+			}
+			k := rng.Intn(n)
+			b := append([]int(nil), a...)
+			sort.Ints(b)
+			NthElement(a, k, func(x, y int) bool { return x < y })
+			if a[k] != b[k] {
+				t.Fatalf("n=%d k=%d: got %d want %d", n, k, a[k], b[k])
+			}
+			for i := 0; i < k; i++ {
+				if a[i] > a[k] {
+					t.Fatalf("element before k exceeds kth")
+				}
+			}
+			for i := k + 1; i < n; i++ {
+				if a[i] < a[k] {
+					t.Fatalf("element after k below kth")
+				}
+			}
+		}
+	}
+}
+
+func TestReduceMin(t *testing.T) {
+	vals := []float64{5, 3, 8, 3, 9}
+	idx, v := ReduceMin(len(vals), 1, func(i int) float64 { return vals[i] })
+	if v != 3 || idx != 1 {
+		t.Fatalf("got (%d,%v), want (1,3) with smallest-index tie-break", idx, v)
+	}
+	idx, v = ReduceMin(0, 1, func(i int) float64 { return 0 })
+	if idx != -1 || !math.IsInf(v, 1) {
+		t.Fatalf("empty reduce: got (%d,%v)", idx, v)
+	}
+}
+
+func TestAtomicMinFloat64(t *testing.T) {
+	a := NewAtomicMinFloat64(math.Inf(1))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				a.Min(float64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if a.Load() != 0 {
+		t.Fatalf("concurrent min: got %v, want 0", a.Load())
+	}
+	if a.Min(5) {
+		t.Fatal("Min reported a store for a larger value")
+	}
+}
+
+func TestListRankSequentialAndParallel(t *testing.T) {
+	for _, n := range []int{1, 5, 100, 1 << 15} {
+		next := make([]int32, n)
+		value := make([]float64, n)
+		for i := 0; i < n-1; i++ {
+			next[i] = int32(i + 1)
+		}
+		next[n-1] = -1
+		for i := range value {
+			value[i] = 1
+		}
+		rank := ListRank(next, value)
+		for i := 0; i < n; i++ {
+			want := float64(n - i)
+			if rank[i] != want {
+				t.Fatalf("n=%d: rank[%d]=%v, want %v", n, i, rank[i], want)
+			}
+		}
+	}
+}
+
+func TestRootTreeMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 10, 200} {
+		// random tree: vertex i attaches to a random earlier vertex
+		edges := make([]TreeEdge, 0, n-1)
+		for i := 1; i < n; i++ {
+			edges = append(edges, TreeEdge{U: int32(rng.Intn(i)), V: int32(i)})
+		}
+		s := int32(rng.Intn(n))
+		parent, depth := RootTree(n, edges, s)
+		// BFS reference
+		adj := make([][]int32, n)
+		for _, e := range edges {
+			adj[e.U] = append(adj[e.U], e.V)
+			adj[e.V] = append(adj[e.V], e.U)
+		}
+		wantDepth := make([]int32, n)
+		wantParent := make([]int32, n)
+		for i := range wantDepth {
+			wantDepth[i] = -1
+			wantParent[i] = -1
+		}
+		wantDepth[s] = 0
+		queue := []int32{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[v] {
+				if wantDepth[w] < 0 && w != s {
+					wantDepth[w] = wantDepth[v] + 1
+					wantParent[w] = v
+					queue = append(queue, w)
+				}
+			}
+		}
+		if !reflect.DeepEqual(depth, wantDepth) {
+			t.Fatalf("n=%d s=%d: depth mismatch\n got %v\nwant %v", n, s, depth, wantDepth)
+		}
+		if !reflect.DeepEqual(parent, wantParent) {
+			t.Fatalf("n=%d s=%d: parent mismatch\n got %v\nwant %v", n, s, parent, wantParent)
+		}
+	}
+}
+
+func TestEulerTourIsCircuit(t *testing.T) {
+	edges := []TreeEdge{{0, 1}, {1, 2}, {1, 3}, {3, 4}}
+	et := NewEulerTour(5, edges)
+	// Following Next from any arc must visit all 2m arcs and return.
+	start := int32(0)
+	seen := make(map[int32]bool)
+	a := start
+	for i := 0; i < 2*len(edges); i++ {
+		if seen[a] {
+			t.Fatalf("arc %d revisited before circuit complete", a)
+		}
+		seen[a] = true
+		// consecutive arcs must share a vertex: head(a) == tail(next(a))
+		if arcHead(et.Edges, a) != arcTail(et.Edges, et.Next[a]) {
+			t.Fatalf("tour discontinuity at arc %d", a)
+		}
+		a = et.Next[a]
+	}
+	if a != start {
+		t.Fatalf("tour did not return to start")
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	items := []int{5, 3, 8, 3, 5, 5}
+	groups := GroupBy(items, func(x int) int { return x % 5 })
+	if len(groups[0]) != 3 || len(groups[3]) != 3 {
+		t.Fatalf("unexpected group sizes: %v", groups)
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != len(items) {
+		t.Fatalf("groups cover %d items, want %d", total, len(items))
+	}
+}

@@ -1,0 +1,102 @@
+package parallel
+
+import "sort"
+
+// Semisort groups items by key (Section 2.2): items with equal keys become
+// contiguous, with no guarantee on the order of different keys. The
+// implementation follows the hash-and-scatter structure of Gu et al.:
+// items are scattered into hash buckets with a two-pass counting scheme
+// (parallel over chunks), then each bucket is grouped locally in parallel.
+// It returns the groups as subslices of one backing array.
+func Semisort[T any](items []T, key func(T) int64) [][]T {
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	if n < 4096 || Workers() == 1 {
+		return semisortSeq(items, key)
+	}
+	// Bucket count ~ n/64, a power of two.
+	nb := 1
+	for nb < n/64 {
+		nb *= 2
+	}
+	mask := uint64(nb - 1)
+	bucketOf := func(it T) int {
+		return int(hash64(uint64(key(it))) & mask)
+	}
+	// Two-pass scatter over fixed chunks.
+	p := Workers()
+	chunk := (n + 8*p - 1) / (8 * p)
+	nchunks := (n + chunk - 1) / chunk
+	counts := make([]int, nchunks*nb)
+	ForRange(n, chunk, func(lo, hi int) {
+		c := lo / chunk
+		row := counts[c*nb : (c+1)*nb]
+		for i := lo; i < hi; i++ {
+			row[bucketOf(items[i])]++
+		}
+	})
+	// Column-major prefix sum so each bucket's chunks are contiguous.
+	offsets := make([]int, nchunks*nb)
+	total := 0
+	bucketStart := make([]int, nb+1)
+	for b := 0; b < nb; b++ {
+		bucketStart[b] = total
+		for c := 0; c < nchunks; c++ {
+			offsets[c*nb+b] = total
+			total += counts[c*nb+b]
+		}
+	}
+	bucketStart[nb] = total
+	out := make([]T, n)
+	ForRange(n, chunk, func(lo, hi int) {
+		c := lo / chunk
+		row := offsets[c*nb : (c+1)*nb]
+		for i := lo; i < hi; i++ {
+			b := bucketOf(items[i])
+			out[row[b]] = items[i]
+			row[b]++
+		}
+	})
+	// Group within each bucket in parallel.
+	groupsPer := make([][][]T, nb)
+	For(nb, 1, func(b int) {
+		seg := out[bucketStart[b]:bucketStart[b+1]]
+		if len(seg) == 0 {
+			return
+		}
+		sort.Slice(seg, func(i, j int) bool { return key(seg[i]) < key(seg[j]) })
+		var gs [][]T
+		start := 0
+		for i := 1; i <= len(seg); i++ {
+			if i == len(seg) || key(seg[i]) != key(seg[start]) {
+				gs = append(gs, seg[start:i])
+				start = i
+			}
+		}
+		groupsPer[b] = gs
+	})
+	var groups [][]T
+	for _, gs := range groupsPer {
+		groups = append(groups, gs...)
+	}
+	return groups
+}
+
+func semisortSeq[T any](items []T, key func(T) int64) [][]T {
+	byKey := make(map[int64][]T)
+	var order []int64
+	for _, it := range items {
+		k := key(it)
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], it)
+	}
+	groups := make([][]T, 0, len(order))
+	for _, k := range order {
+		groups = append(groups, byKey[k])
+	}
+	return groups
+}

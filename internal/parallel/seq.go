@@ -1,0 +1,135 @@
+package parallel
+
+// Sequence primitives: prefix sum, filter, pack, split. All are implemented
+// with the classic two-pass (count, then write) parallel scheme over fixed
+// chunk boundaries, giving O(n) work and O(log n) depth.
+
+// PrefixSum replaces a with its exclusive prefix sum and returns the total.
+func PrefixSum(a []int) int {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	p := Workers()
+	if p == 1 || n < 4096 {
+		sum := 0
+		for i := range a {
+			v := a[i]
+			a[i] = sum
+			sum += v
+		}
+		return sum
+	}
+	chunk := (n + p - 1) / p
+	nchunks := (n + chunk - 1) / chunk
+	sums := make([]int, nchunks)
+	ForRange(n, chunk, func(lo, hi int) {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += a[i]
+		}
+		sums[lo/chunk] = s
+	})
+	total := 0
+	for i, s := range sums {
+		sums[i] = total
+		total += s
+	}
+	ForRange(n, chunk, func(lo, hi int) {
+		s := sums[lo/chunk]
+		for i := lo; i < hi; i++ {
+			v := a[i]
+			a[i] = s
+			s += v
+		}
+	})
+	return total
+}
+
+// Filter returns the elements of a satisfying pred, preserving order.
+func Filter[T any](a []T, pred func(T) bool) []T {
+	n := len(a)
+	if n == 0 {
+		return nil
+	}
+	if Workers() == 1 || n < 4096 {
+		out := make([]T, 0, n/2+1)
+		for _, v := range a {
+			if pred(v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	flags := make([]int, n)
+	For(n, 0, func(i int) {
+		if pred(a[i]) {
+			flags[i] = 1
+		}
+	})
+	total := PrefixSum(flags)
+	out := make([]T, total)
+	For(n, 0, func(i int) {
+		pos := flags[i]
+		if i+1 < n && flags[i+1] == pos || i+1 == n && pos == total {
+			return
+		}
+		out[pos] = a[i]
+	})
+	return out
+}
+
+// Split partitions a into (true-part, false-part), preserving relative order
+// within each part (the paper's SPLIT primitive).
+func Split[T any](a []T, pred func(T) bool) (yes, no []T) {
+	n := len(a)
+	if n == 0 {
+		return nil, nil
+	}
+	if Workers() == 1 || n < 4096 {
+		yes = make([]T, 0, n/2+1)
+		no = make([]T, 0, n/2+1)
+		for _, v := range a {
+			if pred(v) {
+				yes = append(yes, v)
+			} else {
+				no = append(no, v)
+			}
+		}
+		return yes, no
+	}
+	flags := make([]int, n)
+	For(n, 0, func(i int) {
+		if pred(a[i]) {
+			flags[i] = 1
+		}
+	})
+	nyes := PrefixSum(flags)
+	yes = make([]T, nyes)
+	no = make([]T, n-nyes)
+	For(n, 0, func(i int) {
+		pos := flags[i]
+		var taken bool
+		if i+1 < n {
+			taken = flags[i+1] != pos
+		} else {
+			taken = pos != nyes
+		}
+		if taken {
+			yes[pos] = a[i]
+		} else {
+			no[i-pos] = a[i]
+		}
+	})
+	return yes, no
+}
+
+// GroupBy implements semisort: it groups items by integer key and returns the
+// groups (order of groups and of items within a group is unspecified).
+func GroupBy[T any](items []T, key func(T) int) map[int][]T {
+	out := make(map[int][]T)
+	for _, it := range items {
+		out[key(it)] = append(out[key(it)], it)
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+// Package wspd implements the well-separated pair decomposition of
+// Callahan and Kosaraju over a k-d tree (Algorithm 1 of the paper), plus the
+// paper's new HDBSCAN* notion of well-separation (Section 3.2.2): a pair is
+// well-separated if it is geometrically-separated, mutually-unreachable, or
+// both. The mutual-unreachability disjunct lets FindPair terminate earlier,
+// bounding the number of pairs (and hence MST candidate edges) by O(n).
+package wspd
+
+import (
+	"math"
+
+	"parclust/internal/kdtree"
+	"parclust/internal/parallel"
+)
+
+// Pair is a well-separated pair of k-d tree nodes.
+type Pair struct {
+	A, B *kdtree.Node
+}
+
+// Separation decides whether two tree nodes are well-separated.
+type Separation interface {
+	WellSeparated(a, b *kdtree.Node) bool
+}
+
+// Geometric is the classic Callahan–Kosaraju separation with constant s:
+// both nodes fit in spheres of radius r = max(radii) and the gap between
+// the nodes' bounding spheres is at least s*r. The paper uses s = 2, under
+// which this coincides with its "geometrically-separated" condition
+// d(A,B) >= max(A_diam, B_diam).
+type Geometric struct{ S float64 }
+
+// WellSeparated reports whether a and b satisfy the separation test.
+func (g Geometric) WellSeparated(a, b *kdtree.Node) bool {
+	r := math.Max(a.Radius, b.Radius)
+	return kdtree.SphereDist(a, b) >= g.S*r
+}
+
+// MutualUnreachable is the paper's new disjunctive well-separation for
+// HDBSCAN*: geometric separation (s=2) OR mutual unreachability
+//
+//	max{d(A,B), cdmin(A), cdmin(B)} >= max{A_diam, B_diam, cdmax(A), cdmax(B)}.
+//
+// Tree nodes must carry core-distance annotations.
+type MutualUnreachable struct{}
+
+// WellSeparated reports geometric separation or mutual unreachability.
+func (MutualUnreachable) WellSeparated(a, b *kdtree.Node) bool {
+	d := kdtree.SphereDist(a, b)
+	maxDiam := math.Max(a.Diam(), b.Diam())
+	if d >= maxDiam { // geometrically-separated (s = 2)
+		return true
+	}
+	lhs := math.Max(d, math.Max(a.CDMin, b.CDMin))
+	rhs := math.Max(maxDiam, math.Max(a.CDMax, b.CDMax))
+	return lhs >= rhs
+}
+
+// spawnSize is the node size above which traversals spawn goroutines.
+const spawnSize = 1024
+
+// Decompose computes the WSPD of the tree (Algorithm 1) and returns all
+// pairs. The traversal parallelizes across subtrees; each goroutine collects
+// into a local buffer and the buffers are concatenated.
+func Decompose(t *kdtree.Tree, sep Separation) []Pair {
+	if t.Root == nil || t.Root.Size() <= 1 {
+		return nil
+	}
+	return wspdNode(t.Root, sep)
+}
+
+// Count returns the number of WSPD pairs without materializing them.
+func Count(t *kdtree.Tree, sep Separation) int {
+	if t.Root == nil || t.Root.Size() <= 1 {
+		return 0
+	}
+	return countNode(t.Root, sep)
+}
+
+func wspdNode(a *kdtree.Node, sep Separation) []Pair {
+	if a.IsLeaf() || a.Size() <= 1 {
+		return nil
+	}
+	var left, right, mid []Pair
+	if a.Size() > spawnSize {
+		parallel.DoN(
+			func() { left = wspdNode(a.Left, sep) },
+			func() { right = wspdNode(a.Right, sep) },
+			func() { mid = findPair(a.Left, a.Right, sep) },
+		)
+	} else {
+		left = wspdNode(a.Left, sep)
+		right = wspdNode(a.Right, sep)
+		mid = findPair(a.Left, a.Right, sep)
+	}
+	out := make([]Pair, 0, len(left)+len(right)+len(mid))
+	out = append(out, left...)
+	out = append(out, right...)
+	out = append(out, mid...)
+	return out
+}
+
+func findPair(p, q *kdtree.Node, sep Separation) []Pair {
+	if p.Radius < q.Radius {
+		p, q = q, p
+	}
+	if sep.WellSeparated(p, q) {
+		return []Pair{{A: p, B: q}}
+	}
+	// Split the node with the larger bounding sphere. With one-point leaves
+	// this is never a leaf (a single point has radius 0 and is always
+	// well-separated); trees built with larger leaves are rejected.
+	if p.IsLeaf() {
+		if q.IsLeaf() {
+			panic("wspd: leaf-leaf pair not well-separated; build the tree with leaf size 1")
+		}
+		p, q = q, p
+	}
+	var l, r []Pair
+	if p.Size()+q.Size() > spawnSize {
+		parallel.Do(
+			func() { l = findPair(p.Left, q, sep) },
+			func() { r = findPair(p.Right, q, sep) },
+		)
+	} else {
+		l = findPair(p.Left, q, sep)
+		r = findPair(p.Right, q, sep)
+	}
+	return append(l, r...)
+}
+
+func countNode(a *kdtree.Node, sep Separation) int {
+	if a.IsLeaf() || a.Size() <= 1 {
+		return 0
+	}
+	var left, right, mid int
+	if a.Size() > spawnSize {
+		parallel.DoN(
+			func() { left = countNode(a.Left, sep) },
+			func() { right = countNode(a.Right, sep) },
+			func() { mid = countPair(a.Left, a.Right, sep) },
+		)
+	} else {
+		left = countNode(a.Left, sep)
+		right = countNode(a.Right, sep)
+		mid = countPair(a.Left, a.Right, sep)
+	}
+	return left + right + mid
+}
+
+func countPair(p, q *kdtree.Node, sep Separation) int {
+	if p.Radius < q.Radius {
+		p, q = q, p
+	}
+	if sep.WellSeparated(p, q) {
+		return 1
+	}
+	if p.IsLeaf() {
+		if q.IsLeaf() {
+			panic("wspd: leaf-leaf pair not well-separated; build the tree with leaf size 1")
+		}
+		p, q = q, p
+	}
+	var l, r int
+	if p.Size()+q.Size() > spawnSize {
+		parallel.Do(
+			func() { l = countPair(p.Left, q, sep) },
+			func() { r = countPair(p.Right, q, sep) },
+		)
+	} else {
+		l = countPair(p.Left, q, sep)
+		r = countPair(p.Right, q, sep)
+	}
+	return l + r
+}

@@ -1,0 +1,161 @@
+package parclust
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"parclust/internal/delaunay"
+	"parclust/internal/dendrogram"
+	"parclust/internal/generator"
+	"parclust/internal/geometry"
+	"parclust/internal/kdtree"
+	"parclust/internal/mst"
+	"parclust/internal/wspd"
+)
+
+// Points is a set of n points in d dimensions stored in a flat row-major
+// buffer (point i occupies Data[i*Dim:(i+1)*Dim]).
+type Points = geometry.Points
+
+// Edge is a weighted undirected edge between point indices U < V.
+type Edge = mst.Edge
+
+// Stats collects per-phase wall-clock times and work/memory counters
+// (WSPD pairs materialized, BCCP invocations, filter rounds).
+type Stats = mst.Stats
+
+// Dendrogram is a binary merge tree over the input points; see package
+// documentation for the ordered-dendrogram property.
+type Dendrogram = dendrogram.Dendrogram
+
+// Bar is one entry of a reachability plot.
+type Bar = dendrogram.Bar
+
+// Clustering is a flat clustering with -1 labels for noise.
+type Clustering = dendrogram.Clustering
+
+// NewStats returns an empty Stats for passing to the *WithStats variants.
+func NewStats() *Stats { return mst.NewStats() }
+
+// NewPoints allocates an n x dim point set.
+func NewPoints(n, dim int) Points { return geometry.NewPoints(n, dim) }
+
+// PointsFromSlices copies a slice-of-rows into a Points.
+func PointsFromSlices(rows [][]float64) Points { return geometry.FromSlices(rows) }
+
+// GenerateUniform returns n points uniform in a hypergrid of side sqrt(n)
+// (the paper's UniformFill workload).
+func GenerateUniform(n, dim int, seed int64) Points { return generator.UniformFill(n, dim, seed) }
+
+// GenerateVarden returns the seed-spreader variable-density workload
+// (the paper's SS-varden).
+func GenerateVarden(n, dim int, seed int64) Points { return generator.SSVarden(n, dim, seed) }
+
+// GenerateGaussianMixture returns a k-cluster Gaussian mixture.
+func GenerateGaussianMixture(n, dim, k int, seed int64) Points {
+	return generator.GaussianMixture(n, dim, k, seed)
+}
+
+// EMSTAlgorithm selects the EMST implementation (Section 5 names).
+type EMSTAlgorithm int
+
+const (
+	// EMSTMemoGFK is the paper's fastest algorithm: parallel
+	// GeoFilterKruskal with the memory optimization (Algorithm 3).
+	EMSTMemoGFK EMSTAlgorithm = iota
+	// EMSTGFK is parallel GeoFilterKruskal over a materialized WSPD
+	// (Algorithm 2).
+	EMSTGFK
+	// EMSTNaive computes the BCCP of every WSPD pair up front.
+	EMSTNaive
+	// EMSTBoruvka runs Borůvka rounds with component-pruned nearest
+	// neighbor queries (the dual-tree-Borůvka-style baseline of Table 3).
+	EMSTBoruvka
+	// EMSTDelaunay2D computes the MST of the Delaunay triangulation;
+	// 2D inputs only (Appendix A.1).
+	EMSTDelaunay2D
+	// EMSTWSPDBoruvka runs Borůvka rounds over the WSPD's BCCP edges
+	// (the structure of the paper's Appendix B algorithm).
+	EMSTWSPDBoruvka
+)
+
+func (a EMSTAlgorithm) String() string {
+	switch a {
+	case EMSTMemoGFK:
+		return "EMST-MemoGFK"
+	case EMSTGFK:
+		return "EMST-GFK"
+	case EMSTNaive:
+		return "EMST-Naive"
+	case EMSTBoruvka:
+		return "EMST-Boruvka"
+	case EMSTDelaunay2D:
+		return "EMST-Delaunay"
+	case EMSTWSPDBoruvka:
+		return "EMST-WSPDBoruvka"
+	default:
+		return fmt.Sprintf("EMSTAlgorithm(%d)", int(a))
+	}
+}
+
+// EMST computes the Euclidean minimum spanning tree of pts with the
+// default (MemoGFK) algorithm.
+func EMST(pts Points) ([]Edge, error) { return EMSTWithStats(pts, EMSTMemoGFK, nil) }
+
+// EMSTWithStats computes the EMST with an explicit algorithm choice,
+// recording phase timings and counters into stats when non-nil.
+func EMSTWithStats(pts Points, algo EMSTAlgorithm, stats *Stats) ([]Edge, error) {
+	if err := validatePoints(pts); err != nil {
+		return nil, err
+	}
+	if pts.N <= 1 {
+		return nil, nil
+	}
+	if algo == EMSTDelaunay2D {
+		if pts.Dim != 2 {
+			return nil, fmt.Errorf("parclust: %v requires 2D points, got %dD", algo, pts.Dim)
+		}
+		return delaunay.EMST(pts, stats), nil
+	}
+	var t *kdtree.Tree
+	build := func() { t = kdtree.Build(pts, 1) }
+	if stats != nil {
+		stats.Time("build-tree", build)
+	} else {
+		build()
+	}
+	if algo == EMSTBoruvka {
+		return mst.Boruvka(t, stats), nil
+	}
+	cfg := mst.Config{Tree: t, Metric: kdtree.Euclidean{Pts: pts}, Sep: wspd.Geometric{S: 2}, Stats: stats}
+	switch algo {
+	case EMSTMemoGFK:
+		return mst.MemoGFK(cfg), nil
+	case EMSTGFK:
+		return mst.GFK(cfg), nil
+	case EMSTNaive:
+		return mst.Naive(cfg), nil
+	case EMSTWSPDBoruvka:
+		return mst.WSPDBoruvka(cfg), nil
+	default:
+		return nil, fmt.Errorf("parclust: unknown EMST algorithm %v", algo)
+	}
+}
+
+func validatePoints(pts Points) error {
+	if pts.Dim <= 0 {
+		return errors.New("parclust: points must have positive dimension")
+	}
+	if len(pts.Data) != pts.N*pts.Dim {
+		return fmt.Errorf("parclust: point buffer length %d does not match n*dim=%d",
+			len(pts.Data), pts.N*pts.Dim)
+	}
+	for i, v := range pts.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("parclust: point %d has non-finite coordinate %v in dimension %d",
+				i/pts.Dim, v, i%pts.Dim)
+		}
+	}
+	return nil
+}
