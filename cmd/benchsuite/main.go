@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -39,7 +40,25 @@ var (
 	threadsFlag = flag.String("threads", "", "comma-separated thread counts for scaling experiments (default: 1,...,NumCPU)")
 	rhoFlag     = flag.Float64("rho", 0.125, "approximation parameter for fig10")
 	pairBudget  = flag.Int("pairbudget", 20_000_000, "skip full-WSPD algorithms when the pair count exceeds this budget (mirrors the paper's '-' entries)")
+	jsonFlag    = flag.String("json", "", "write a JSON run summary (per-experiment wall times and run metadata) to this file")
 )
+
+// jsonSummary is the machine-readable record of one benchsuite run, written
+// by -json so CI can archive BENCH_*.json trajectories across commits.
+type jsonSummary struct {
+	N           int       `json:"n"`
+	MinPts      int       `json:"minpts"`
+	Seed        int64     `json:"seed"`
+	NumCPU      int       `json:"numcpu"`
+	GoVersion   string    `json:"go_version"`
+	Threads     []int     `json:"threads"`
+	Experiments []expTime `json:"experiments"`
+}
+
+type expTime struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
 
 func main() {
 	flag.Parse()
@@ -50,8 +69,18 @@ func main() {
 	if *expFlag == "all" {
 		exps = []string{"table3", "table4", "table5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "memory", "pairs"}
 	}
+	summary := jsonSummary{
+		N:         *nFlag,
+		MinPts:    *minPtsFlag,
+		Seed:      *seedFlag,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		Threads:   threads,
+	}
 	for _, e := range exps {
-		switch strings.TrimSpace(e) {
+		name := strings.TrimSpace(e)
+		start := time.Now()
+		switch name {
 		case "table2":
 			table2(threads)
 		case "table3":
@@ -78,6 +107,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", e)
 			os.Exit(2)
 		}
+		summary.Experiments = append(summary.Experiments, expTime{Name: name, Seconds: time.Since(start).Seconds()})
+	}
+	if *jsonFlag != "" {
+		buf, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal json summary: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonFlag, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonFlag, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote JSON summary to %s\n", *jsonFlag)
 	}
 }
 

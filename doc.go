@@ -16,8 +16,14 @@
 //     divide-and-conquer algorithm, supporting single-linkage clustering and
 //     DBSCAN* cluster extraction at any radius.
 //
-// Parallelism follows runtime.GOMAXPROCS; all algorithms are deterministic
-// for a fixed input regardless of the worker count.
+// All parallelism runs on a persistent work-stealing fork-join scheduler
+// (package internal/parallel): a process-wide pool of GOMAXPROCS workers
+// with per-worker steal queues and work-first inline execution, so nested
+// forks — k-d tree build inside WSPD inside MemoGFK inside the dendrogram
+// builder — cost a task handle, not a goroutine. The worker count follows
+// runtime.GOMAXPROCS; all algorithms are deterministic for a fixed input
+// regardless of the worker count or steal schedule, and with GOMAXPROCS=1
+// every code path runs as plain sequential code.
 //
 // # Quick start
 //

@@ -1,0 +1,3 @@
+module parclust
+
+go 1.24

@@ -7,6 +7,7 @@ package parclust
 
 import (
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -123,23 +124,42 @@ func TestPipelineMinPtsSweep(t *testing.T) {
 
 func TestPipelineThreadIndependence(t *testing.T) {
 	// The same input must give identical results regardless of worker count
-	// (determinism is a stated design property).
+	// (determinism is a stated design property). Sweep GOMAXPROCS explicitly
+	// so the work-stealing scheduler runs both fully sequential and with
+	// real steal traffic over the whole EMST + HDBSCAN* pipeline.
 	pts := generator.GeoLifeLike(800, 3)
-	base, err := HDBSCAN(pts, 10)
-	if err != nil {
-		t.Fatal(err)
+	run := func() ([]Bar, float64, []Edge) {
+		h, err := HDBSCAN(pts, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emst, err := EMST(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.ReachabilityPlot(), h.TotalWeight(), emst
 	}
-	basePlot := base.ReachabilityPlot()
-	// GOMAXPROCS is 1 on the CI box; re-running exercises at least the
-	// deterministic-output contract, and the race-mode CI run covers >1.
-	again, err := HDBSCAN(pts, 10)
-	if err != nil {
-		t.Fatal(err)
-	}
-	againPlot := again.ReachabilityPlot()
-	for i := range basePlot {
-		if basePlot[i] != againPlot[i] {
-			t.Fatalf("plot differs at %d between identical runs", i)
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	basePlot, baseW, baseEMST := run()
+	for _, procs := range []int{2, 8} {
+		runtime.GOMAXPROCS(procs)
+		plot, w, emst := run()
+		if w != baseW {
+			t.Fatalf("GOMAXPROCS=%d: HDBSCAN* MST weight %v != %v at 1 worker", procs, w, baseW)
+		}
+		for i := range basePlot {
+			if basePlot[i] != plot[i] {
+				t.Fatalf("GOMAXPROCS=%d: reachability plot differs at %d", procs, i)
+			}
+		}
+		if len(emst) != len(baseEMST) {
+			t.Fatalf("GOMAXPROCS=%d: EMST has %d edges, want %d", procs, len(emst), len(baseEMST))
+		}
+		for i := range baseEMST {
+			if emst[i] != baseEMST[i] {
+				t.Fatalf("GOMAXPROCS=%d: EMST edge %d differs: %v vs %v", procs, i, emst[i], baseEMST[i])
+			}
 		}
 	}
 }

@@ -175,14 +175,17 @@ func (b *builder) solve(edges []mst.Edge, rep, leaf map[int32]int32, base int32)
 		}
 	}
 
-	// Solve all subproblems in parallel; ranges are disjoint.
-	tasks := make([]func(), 0, len(subs)+1)
+	// Solve all subproblems as one fork-join group; id ranges are disjoint,
+	// so no synchronization beyond the join is needed. The light components
+	// are spawned (stealable by idle workers) and the heavy subproblem — on
+	// average the largest — runs inline on the current worker, so the
+	// recursion stays depth-first wherever no steal happens.
+	var g parallel.Group
 	for _, sp := range subs {
-		sp := sp
-		tasks = append(tasks, func() { b.solve(sp.edges, rep, leaf, sp.base) })
+		g.Spawn(func() { b.solve(sp.edges, rep, leaf, sp.base) })
 	}
-	tasks = append(tasks, func() { b.solve(heavy, repH, leafH, heavyBase) })
-	parallel.For(len(tasks), 1, func(i int) { tasks[i]() })
+	g.Run(func() { b.solve(heavy, repH, leafH, heavyBase) })
+	g.Sync()
 }
 
 // seqBuild is the sequential bottom-up base case over super-vertices.

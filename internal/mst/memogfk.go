@@ -81,11 +81,13 @@ func getRhoNode(cfg Config, a *kdtree.Node, beta int, rho *parallel.AtomicMinFlo
 		return
 	}
 	if a.Size() > spawnSize {
-		parallel.DoN(
-			func() { getRhoNode(cfg, a.Left, beta, rho) },
-			func() { getRhoNode(cfg, a.Right, beta, rho) },
-			func() { getRhoPair(cfg, a.Left, a.Right, beta, rho) },
-		)
+		// Subtree traversals become stealable tasks; the split pair stays
+		// on the current worker (work-first).
+		var g parallel.Group
+		g.Spawn(func() { getRhoNode(cfg, a.Left, beta, rho) })
+		g.Spawn(func() { getRhoNode(cfg, a.Right, beta, rho) })
+		g.Run(func() { getRhoPair(cfg, a.Left, a.Right, beta, rho) })
+		g.Sync()
 		return
 	}
 	getRhoNode(cfg, a.Left, beta, rho)
@@ -134,11 +136,11 @@ func getPairsNode(cfg Config, a *kdtree.Node, beta int, rhoLo, rhoHi float64) []
 	}
 	var left, right, mid []Edge
 	if a.Size() > spawnSize {
-		parallel.DoN(
-			func() { left = getPairsNode(cfg, a.Left, beta, rhoLo, rhoHi) },
-			func() { right = getPairsNode(cfg, a.Right, beta, rhoLo, rhoHi) },
-			func() { mid = getPairsPair(cfg, a.Left, a.Right, beta, rhoLo, rhoHi) },
-		)
+		var g parallel.Group
+		g.Spawn(func() { left = getPairsNode(cfg, a.Left, beta, rhoLo, rhoHi) })
+		g.Spawn(func() { right = getPairsNode(cfg, a.Right, beta, rhoLo, rhoHi) })
+		g.Run(func() { mid = getPairsPair(cfg, a.Left, a.Right, beta, rhoLo, rhoHi) })
+		g.Sync()
 	} else {
 		left = getPairsNode(cfg, a.Left, beta, rhoLo, rhoHi)
 		right = getPairsNode(cfg, a.Right, beta, rhoLo, rhoHi)

@@ -1,0 +1,105 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// treeSum recursively sums [lo, hi) with fork-join at every level above the
+// cutoff, the shape of every recursive algorithm in this library (k-d tree
+// build, WSPD traversal, MemoGFK, dendrogram divide-and-conquer).
+func treeSum(lo, hi, cutoff int) int64 {
+	if hi-lo <= cutoff {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		return s
+	}
+	mid := (lo + hi) / 2
+	var a, b int64
+	Do(
+		func() { a = treeSum(lo, mid, cutoff) },
+		func() { b = treeSum(mid, hi, cutoff) },
+	)
+	return a + b
+}
+
+// BenchmarkDoNestedTree measures nested fork-join with fine granularity:
+// ~4096 forks per op, each leaf doing 256 additions. This is the workload
+// the spawn-per-call implementation paid goroutine-creation costs on.
+func BenchmarkDoNestedTree(b *testing.B) {
+	const n = 1 << 20
+	want := int64(n) * (n - 1) / 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := treeSum(0, n, 256); got != want {
+			b.Fatalf("sum = %d, want %d", got, want)
+		}
+	}
+}
+
+// BenchmarkDoNestedTreeCoarse uses a coarse cutoff (few forks, big leaves),
+// where scheduling overhead should be negligible for any implementation.
+func BenchmarkDoNestedTreeCoarse(b *testing.B) {
+	const n = 1 << 20
+	want := int64(n) * (n - 1) / 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := treeSum(0, n, 1<<16); got != want {
+			b.Fatalf("sum = %d, want %d", got, want)
+		}
+	}
+}
+
+// BenchmarkDoFlat measures the cost of a single two-way fork-join.
+func BenchmarkDoFlat(b *testing.B) {
+	b.ReportAllocs()
+	var sink atomic.Int64
+	for i := 0; i < b.N; i++ {
+		Do(
+			func() { sink.Add(1) },
+			func() { sink.Add(1) },
+		)
+	}
+}
+
+// BenchmarkForRangeFine measures a parallel for with many small chunks.
+func BenchmarkForRangeFine(b *testing.B) {
+	const n = 1 << 18
+	out := make([]int64, n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ForRange(n, 64, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				out[j] = int64(j)
+			}
+		})
+	}
+}
+
+// BenchmarkNestedForInDo exercises a parallel for nested inside a fork, the
+// pattern of Borůvka rounds inside MemoGFK's outer loop.
+func BenchmarkNestedForInDo(b *testing.B) {
+	const n = 1 << 16
+	out := make([]int64, 2*n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Do(
+			func() {
+				ForRange(n, 128, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						out[j] = int64(j)
+					}
+				})
+			},
+			func() {
+				ForRange(n, 128, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						out[n+j] = int64(j)
+					}
+				})
+			},
+		)
+	}
+}

@@ -3,8 +3,19 @@
 // filter, split, parallel merge sort, parallel selection, priority
 // concurrent writes (write-min), Euler tours, and list ranking.
 //
-// The worker count follows runtime.GOMAXPROCS, matching the paper's practice
-// of varying thread count externally for scalability experiments.
+// All parallelism runs on a persistent work-stealing fork-join scheduler
+// (see scheduler.go): a process-wide pool of GOMAXPROCS workers with
+// per-worker steal queues, a Group/Spawn/Sync task API with panic
+// propagation, and work-first inline execution so that subproblems below
+// the sequential cutoffs never leave the goroutine that forked them. The
+// primitives here — Do, DoN, For, ForRange, ReduceMin and everything built
+// on them — are thin layers over that scheduler.
+//
+// The worker count follows runtime.GOMAXPROCS, matching the paper's
+// practice of varying thread count externally for scalability experiments;
+// with GOMAXPROCS=1 every primitive degenerates to plain sequential code
+// with no scheduler involvement. Results are deterministic: identical for
+// any worker count and any steal schedule.
 package parallel
 
 import (
@@ -17,41 +28,44 @@ import (
 // Workers reports the number of workers parallel operations will use.
 func Workers() int { return runtime.GOMAXPROCS(0) }
 
-// Do runs f and g, in parallel when more than one worker is available.
+// Do runs f and g as a two-way fork-join: g becomes stealable by idle pool
+// workers while f runs on the calling goroutine; if no worker takes g it is
+// run inline, so the pair costs no goroutine switch at all. If either
+// function panics, both still run to completion and the first panic is
+// re-raised here — the same contract at every worker count.
 func Do(f, g func()) {
+	gr := newGroup()
 	if Workers() == 1 {
-		f()
-		g()
-		return
+		gr.Run(f)
+		gr.Run(g)
+	} else {
+		gr.Spawn(g)
+		gr.Run(f)
 	}
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		g()
-	}()
-	f()
-	wg.Wait()
+	gr.Sync()
+	gr.release()
 }
 
-// DoN runs all fns, in parallel when more than one worker is available.
+// DoN runs all fns as one fork-join group: fns[1:] become stealable while
+// fns[0] runs on the calling goroutine. Like Do, a panic in one function
+// does not stop its siblings; the first panic re-raises here.
 func DoN(fns ...func()) {
-	if Workers() == 1 {
-		for _, f := range fns {
-			f()
-		}
+	if len(fns) == 0 {
 		return
 	}
-	var wg sync.WaitGroup
-	for _, f := range fns[1:] {
-		wg.Add(1)
-		go func(f func()) {
-			defer wg.Done()
-			f()
-		}(f)
+	gr := newGroup()
+	if Workers() == 1 {
+		for _, f := range fns {
+			gr.Run(f)
+		}
+	} else {
+		for _, f := range fns[1:] {
+			gr.Spawn(f)
+		}
+		gr.Run(fns[0])
 	}
-	fns[0]()
-	wg.Wait()
+	gr.Sync()
+	gr.release()
 }
 
 // For executes body(i) for i in [0, n) in parallel, chunking work so that
@@ -65,6 +79,12 @@ func For(n, grain int, body func(i int)) {
 }
 
 // ForRange executes body(lo, hi) over a partition of [0, n) in parallel.
+// Chunks are handed out by an atomic cursor to a group of scheduler tasks
+// (one per worker), so load imbalance between chunks self-corrects; with a
+// single worker, or when n fits in one grain, body runs inline. A panic in
+// body re-raises here; how many other chunks still run once a chunk has
+// panicked is unspecified (panicking executions carry no determinism
+// guarantee).
 func ForRange(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -84,30 +104,31 @@ func ForRange(n, grain int, body func(lo, hi int)) {
 		chunks = (n + grain - 1) / grain
 	}
 	var next int64
-	var wg sync.WaitGroup
+	loop := func() {
+		for {
+			c := int(atomic.AddInt64(&next, 1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
+	}
 	workers := p
 	if workers > chunks {
 		workers = chunks
 	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(atomic.AddInt64(&next, 1)) - 1
-				if c >= chunks {
-					return
-				}
-				lo := c * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
-			}
-		}()
+	gr := newGroup()
+	for w := 1; w < workers; w++ {
+		gr.Spawn(loop)
 	}
-	wg.Wait()
+	gr.Run(loop)
+	gr.Sync()
+	gr.release()
 }
 
 // ReduceMin finds, over i in [0,n), the minimum key with its index using a

@@ -83,11 +83,13 @@ func wspdNode(a *kdtree.Node, sep Separation) []Pair {
 	}
 	var left, right, mid []Pair
 	if a.Size() > spawnSize {
-		parallel.DoN(
-			func() { left = wspdNode(a.Left, sep) },
-			func() { right = wspdNode(a.Right, sep) },
-			func() { mid = findPair(a.Left, a.Right, sep) },
-		)
+		// Fork the subtree traversals as stealable tasks and keep the
+		// FindPair of the split on the current worker (work-first).
+		var g parallel.Group
+		g.Spawn(func() { left = wspdNode(a.Left, sep) })
+		g.Spawn(func() { right = wspdNode(a.Right, sep) })
+		g.Run(func() { mid = findPair(a.Left, a.Right, sep) })
+		g.Sync()
 	} else {
 		left = wspdNode(a.Left, sep)
 		right = wspdNode(a.Right, sep)
@@ -135,11 +137,11 @@ func countNode(a *kdtree.Node, sep Separation) int {
 	}
 	var left, right, mid int
 	if a.Size() > spawnSize {
-		parallel.DoN(
-			func() { left = countNode(a.Left, sep) },
-			func() { right = countNode(a.Right, sep) },
-			func() { mid = countPair(a.Left, a.Right, sep) },
-		)
+		var g parallel.Group
+		g.Spawn(func() { left = countNode(a.Left, sep) })
+		g.Spawn(func() { right = countNode(a.Right, sep) })
+		g.Run(func() { mid = countPair(a.Left, a.Right, sep) })
+		g.Sync()
 	} else {
 		left = countNode(a.Left, sep)
 		right = countNode(a.Right, sep)
