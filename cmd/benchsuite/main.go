@@ -29,11 +29,12 @@ import (
 	"parclust/internal/generator"
 	"parclust/internal/geometry"
 	"parclust/internal/kdtree"
+	"parclust/internal/mst"
 	"parclust/internal/wspd"
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment to run (table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10 memory pairs all)")
+	expFlag     = flag.String("exp", "all", "experiment to run (table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10 memory pairs metrics all)")
 	nFlag       = flag.Int("n", 10000, "points per dataset")
 	minPtsFlag  = flag.Int("minpts", 10, "HDBSCAN* minPts")
 	seedFlag    = flag.Int64("seed", 42, "generator seed")
@@ -67,7 +68,7 @@ func main() {
 		*nFlag, *minPtsFlag, *seedFlag, runtime.NumCPU())
 	exps := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
-		exps = []string{"table3", "table4", "table5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "memory", "pairs"}
+		exps = []string{"table3", "table4", "table5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "memory", "pairs", "metrics"}
 	}
 	summary := jsonSummary{
 		N:         *nFlag,
@@ -103,6 +104,8 @@ func main() {
 			memoryStudy()
 		case "pairs":
 			pairStudy()
+		case "metrics":
+			metricStudy()
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", e)
 			os.Exit(2)
@@ -550,6 +553,48 @@ func memoryStudy() {
 		}
 		red := float64(sf.PeakPairsResident) / math.Max(1, float64(sm.PeakPairsResident))
 		fmt.Printf("%s | %d | %d | %.2fx\n", d.Name, sf.PeakPairsResident, sm.PeakPairsResident, red)
+	}
+}
+
+// metricStudy times every EMST variant and the HDBSCAN* MemoGFK pipeline
+// under every supported distance kernel — the metric x algorithm matrix.
+// EMST-Delaunay is skipped off-L2; total weights are printed so runs can
+// be eyeballed against the differential-test oracle expectations.
+func metricStudy() {
+	fmt.Println("\n## Metric x algorithm matrix: wall time (seconds) and total MST weight per kernel")
+	fmt.Println("dataset | metric | algorithm | seconds | total_weight")
+	ds := datasets()
+	emstSel := []emstRun{
+		{parclust.EMSTNaive, "EMST-Naive"},
+		{parclust.EMSTGFK, "EMST-GFK"},
+		{parclust.EMSTMemoGFK, "EMST-MemoGFK"},
+		{parclust.EMSTWSPDBoruvka, "EMST-WSPDBoruvka"},
+	}
+	for _, di := range []int{0, 6} { // 2D-UniformFill, 5D-SS-varden
+		d := ds[di]
+		pts := gen(d)
+		for _, m := range parclust.Metrics() {
+			for _, a := range emstSel {
+				var edges []parclust.Edge
+				secs := withThreads(runtime.NumCPU(), func() {
+					var err error
+					edges, err = parclust.EMSTMetricWithStats(pts, a.algo, m, nil)
+					if err != nil {
+						panic(err)
+					}
+				})
+				fmt.Printf("%s | %v | %s | %.3f | %.4f\n", d.Name, m, a.name, secs, mst.TotalWeight(edges))
+			}
+			var h *parclust.Hierarchy
+			secs := withThreads(runtime.NumCPU(), func() {
+				var err error
+				h, err = parclust.HDBSCANMetricWithStats(pts, *minPtsFlag, parclust.HDBSCANMemoGFK, m, nil)
+				if err != nil {
+					panic(err)
+				}
+			})
+			fmt.Printf("%s | %v | HDBSCAN*-MemoGFK | %.3f | %.4f\n", d.Name, m, secs, h.TotalWeight())
+		}
 	}
 }
 

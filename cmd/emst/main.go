@@ -30,6 +30,7 @@ func main() {
 		dim     = flag.Int("dim", 2, "dimension of generated points")
 		seed    = flag.Int64("seed", 42, "generator seed")
 		algo    = flag.String("algo", "memogfk", "algorithm: memogfk | gfk | naive | boruvka | delaunay")
+		metricF = flag.String("metric", "l2", "distance kernel: l2 | sql2 | l1 | linf | angular (delaunay is l2-only)")
 		out     = flag.String("out", "", "write MST edges (u,v,w per line) to this file")
 		phases  = flag.Bool("phases", false, "print per-phase timing decomposition")
 		threads = flag.Int("threads", 0, "GOMAXPROCS override (0 = all cores)")
@@ -59,15 +60,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "emst: unknown algorithm %q\n", *algo)
 		os.Exit(2)
 	}
+	m, err := parclust.ParseMetric(*metricF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emst:", err)
+		os.Exit(2)
+	}
 	stats := parclust.NewStats()
 	start := time.Now()
-	edges, err := parclust.EMSTWithStats(pts, a, stats)
+	edges, err := parclust.EMSTMetricWithStats(pts, a, m, stats)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "emst:", err)
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("algorithm=%v n=%d dim=%d threads=%d\n", a, pts.N, pts.Dim, runtime.GOMAXPROCS(0))
+	fmt.Printf("algorithm=%v metric=%v n=%d dim=%d threads=%d\n", a, m, pts.N, pts.Dim, runtime.GOMAXPROCS(0))
 	fmt.Printf("edges=%d total_weight=%.6f time=%.3fs\n", len(edges), mst.TotalWeight(edges), elapsed.Seconds())
 	if *phases {
 		for name, d := range stats.Phases {

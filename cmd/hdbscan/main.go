@@ -31,6 +31,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "generator seed")
 		minPts  = flag.Int("minpts", 10, "HDBSCAN* minPts parameter")
 		algo    = flag.String("algo", "memogfk", "algorithm: memogfk | gantao | approx")
+		metricF = flag.String("metric", "l2", "distance kernel: l2 | sql2 | l1 | linf | angular (approx is l2-only)")
 		rho     = flag.Float64("rho", 0.125, "approximation parameter for -algo approx")
 		epsList = flag.String("eps", "", "comma-separated radii for flat cluster extraction")
 		plot    = flag.String("plot", "", "write the reachability plot (idx,height per line) to this file")
@@ -48,16 +49,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hdbscan:", err)
 		os.Exit(1)
 	}
+	m, err := parclust.ParseMetric(*metricF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hdbscan:", err)
+		os.Exit(2)
+	}
 	stats := parclust.NewStats()
 	start := time.Now()
 	var h *parclust.Hierarchy
 	switch *algo {
 	case "memogfk":
-		h, err = parclust.HDBSCANWithStats(pts, *minPts, parclust.HDBSCANMemoGFK, stats)
+		h, err = parclust.HDBSCANMetricWithStats(pts, *minPts, parclust.HDBSCANMemoGFK, m, stats)
 	case "gantao":
-		h, err = parclust.HDBSCANWithStats(pts, *minPts, parclust.HDBSCANGanTao, stats)
+		h, err = parclust.HDBSCANMetricWithStats(pts, *minPts, parclust.HDBSCANGanTao, m, stats)
 	case "approx":
-		h, err = parclust.ApproxOPTICSWithStats(pts, *minPts, *rho, stats)
+		if m != parclust.MetricL2 {
+			err = fmt.Errorf("algorithm approx supports the l2 metric only, got %v", m)
+		} else {
+			h, err = parclust.ApproxOPTICSWithStats(pts, *minPts, *rho, stats)
+		}
 	default:
 		err = fmt.Errorf("unknown algorithm %q", *algo)
 	}
@@ -66,8 +76,8 @@ func main() {
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("algorithm=%s n=%d dim=%d minPts=%d threads=%d\n",
-		*algo, pts.N, pts.Dim, *minPts, runtime.GOMAXPROCS(0))
+	fmt.Printf("algorithm=%s metric=%v n=%d dim=%d minPts=%d threads=%d\n",
+		*algo, m, pts.N, pts.Dim, *minPts, runtime.GOMAXPROCS(0))
 	fmt.Printf("mst_edges=%d mst_weight=%.6f time=%.3fs\n",
 		len(h.MST), h.TotalWeight(), elapsed.Seconds())
 	if *phases {

@@ -16,6 +16,25 @@
 //     divide-and-conquer algorithm, supporting single-linkage clustering and
 //     DBSCAN* cluster extraction at any radius.
 //
+// # Metric kernels
+//
+// Every algorithm is parameterized over a pluggable distance kernel
+// selected by the Metric type: MetricL2 (the paper's Euclidean setting
+// and the default), MetricSqL2 (squared Euclidean — same trees and
+// clusters, squared weights), MetricL1 (Manhattan), MetricLInf
+// (Chebyshev), and MetricAngular (the angle between points treated as
+// directions; rows are unit-normalized internally and zero vectors are
+// rejected). The *Metric entry points (EMSTMetric, HDBSCANMetric,
+// SingleLinkageMetric, DBSCANStarMetric, DBSCANMetric, OPTICSMetric)
+// accept a kernel; the unsuffixed functions run under MetricL2. Two
+// algorithms are Euclidean-only by construction and reject other kernels:
+// EMSTDelaunay2D (Delaunay triangulations are an L2 object) and
+// ApproxOPTICS (its (1+rho) guarantee is L2-specific). The WSPD-based
+// algorithms require kernels with the doubling property for their O(n)
+// pair bound; all built-in kernels qualify. Correctness of every variant
+// under every kernel is enforced differentially against brute-force
+// oracles (package internal/oracle).
+//
 // All parallelism runs on a persistent work-stealing fork-join scheduler
 // (package internal/parallel): a process-wide pool of GOMAXPROCS workers
 // with per-worker steal queues and work-first inline execution, so nested

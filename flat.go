@@ -19,13 +19,21 @@ import (
 // HDBSCAN(pts, minPts).ClustersAt(eps), but computed directly; prefer the
 // hierarchy when several radii will be explored.
 func DBSCANStar(pts Points, minPts int, eps float64) (Clustering, error) {
-	if err := validatePoints(pts); err != nil {
+	return DBSCANStarMetric(pts, minPts, eps, MetricL2)
+}
+
+// DBSCANStarMetric is DBSCANStar with neighborhoods taken under the given
+// metric kernel (for MetricSqL2, eps is compared against squared
+// distances).
+func DBSCANStarMetric(pts Points, minPts int, eps float64, m Metric) (Clustering, error) {
+	pts, kern, err := prepareMetric(pts, m)
+	if err != nil {
 		return Clustering{}, err
 	}
-	if minPts < 1 || eps < 0 {
+	if minPts < 1 || eps < 0 || math.IsNaN(eps) {
 		return Clustering{}, fmt.Errorf("parclust: invalid minPts=%d or eps=%v", minPts, eps)
 	}
-	r := dbscan.DBSCANStar(pts, minPts, eps)
+	r := dbscan.DBSCANStarMetric(pts, minPts, eps, kern)
 	return Clustering{Labels: r.Labels, NumClusters: r.NumClusters}, nil
 }
 
@@ -33,13 +41,20 @@ func DBSCANStar(pts Points, minPts int, eps float64) (Clustering, error) {
 // assigns border points (non-core points within eps of a core point) to the
 // cluster of their nearest core neighbor.
 func DBSCAN(pts Points, minPts int, eps float64) (Clustering, error) {
-	if err := validatePoints(pts); err != nil {
+	return DBSCANMetric(pts, minPts, eps, MetricL2)
+}
+
+// DBSCANMetric is DBSCAN with neighborhoods and border attachment taken
+// under the given metric kernel.
+func DBSCANMetric(pts Points, minPts int, eps float64, m Metric) (Clustering, error) {
+	pts, kern, err := prepareMetric(pts, m)
+	if err != nil {
 		return Clustering{}, err
 	}
-	if minPts < 1 || eps < 0 {
+	if minPts < 1 || eps < 0 || math.IsNaN(eps) {
 		return Clustering{}, fmt.Errorf("parclust: invalid minPts=%d or eps=%v", minPts, eps)
 	}
-	r := dbscan.DBSCAN(pts, minPts, eps)
+	r := dbscan.DBSCANMetric(pts, minPts, eps, kern)
 	return Clustering{Labels: r.Labels, NumClusters: r.NumClusters}, nil
 }
 
@@ -62,7 +77,14 @@ type OPTICSEntry = optics.Entry
 // HDBSCAN(...).ReachabilityPlot(), which computes the same kind of plot
 // through the parallel pipeline.
 func OPTICS(pts Points, minPts int, eps float64) ([]OPTICSEntry, error) {
-	if err := validatePoints(pts); err != nil {
+	return OPTICSMetric(pts, minPts, eps, MetricL2)
+}
+
+// OPTICSMetric is OPTICS with distances, core distances, and neighborhoods
+// taken under the given metric kernel.
+func OPTICSMetric(pts Points, minPts int, eps float64, m Metric) ([]OPTICSEntry, error) {
+	pts, kern, err := prepareMetric(pts, m)
+	if err != nil {
 		return nil, err
 	}
 	if minPts < 1 {
@@ -71,5 +93,5 @@ func OPTICS(pts Points, minPts int, eps float64) ([]OPTICSEntry, error) {
 	if math.IsNaN(eps) || eps < 0 {
 		return nil, fmt.Errorf("parclust: invalid eps=%v", eps)
 	}
-	return optics.Run(pts, minPts, eps, false), nil
+	return optics.RunMetric(pts, minPts, eps, false, kern), nil
 }

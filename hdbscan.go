@@ -67,7 +67,22 @@ func HDBSCAN(pts Points, minPts int) (*Hierarchy, error) {
 // The returned hierarchy includes the ordered dendrogram (the paper's
 // HDBSCAN* timings likewise include dendrogram construction).
 func HDBSCANWithStats(pts Points, minPts int, algo HDBSCANAlgorithm, stats *Stats) (*Hierarchy, error) {
-	if err := validatePoints(pts); err != nil {
+	return HDBSCANMetricWithStats(pts, minPts, algo, MetricL2, stats)
+}
+
+// HDBSCANMetric computes the HDBSCAN* hierarchy with the base distance
+// taken under the given metric kernel, using the default space-efficient
+// algorithm.
+func HDBSCANMetric(pts Points, minPts int, m Metric) (*Hierarchy, error) {
+	return HDBSCANMetricWithStats(pts, minPts, HDBSCANMemoGFK, m, nil)
+}
+
+// HDBSCANMetricWithStats is HDBSCANWithStats under an arbitrary metric
+// kernel: core distances, mutual reachability, and the well-separation
+// predicate all run under m.
+func HDBSCANMetricWithStats(pts Points, minPts int, algo HDBSCANAlgorithm, m Metric, stats *Stats) (*Hierarchy, error) {
+	pts, kern, err := prepareMetric(pts, m)
+	if err != nil {
 		return nil, err
 	}
 	if minPts < 1 {
@@ -87,7 +102,7 @@ func HDBSCANWithStats(pts Points, minPts int, algo HDBSCANAlgorithm, stats *Stat
 	default:
 		return nil, fmt.Errorf("parclust: unknown HDBSCAN algorithm %v", algo)
 	}
-	res := hdbscan.Build(pts, minPts, ha, stats)
+	res := hdbscan.BuildMetric(pts, minPts, ha, kern, stats)
 	h := &Hierarchy{
 		N:        pts.N,
 		MST:      res.MST,
@@ -105,9 +120,21 @@ func SingleLinkage(pts Points) (*Hierarchy, error) {
 	return SingleLinkageWithStats(pts, nil)
 }
 
+// SingleLinkageMetric computes the single-linkage hierarchy over the MST
+// under the given metric kernel.
+func SingleLinkageMetric(pts Points, m Metric) (*Hierarchy, error) {
+	return SingleLinkageMetricWithStats(pts, m, nil)
+}
+
 // SingleLinkageWithStats is SingleLinkage with instrumentation.
 func SingleLinkageWithStats(pts Points, stats *Stats) (*Hierarchy, error) {
-	edges, err := EMSTWithStats(pts, EMSTMemoGFK, stats)
+	return SingleLinkageMetricWithStats(pts, MetricL2, stats)
+}
+
+// SingleLinkageMetricWithStats is SingleLinkage under an arbitrary metric
+// kernel with instrumentation.
+func SingleLinkageMetricWithStats(pts Points, m Metric, stats *Stats) (*Hierarchy, error) {
+	edges, err := EMSTMetricWithStats(pts, EMSTMemoGFK, m, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +144,8 @@ func SingleLinkageWithStats(pts Points, stats *Stats) (*Hierarchy, error) {
 }
 
 // ApproxOPTICS computes the approximate OPTICS hierarchy of Appendix C with
-// approximation parameter rho > 0 (the paper evaluates rho = 0.125).
+// approximation parameter rho > 0 (the paper evaluates rho = 0.125). Its
+// (1+rho) guarantee is Euclidean-specific, so it runs under MetricL2 only.
 func ApproxOPTICS(pts Points, minPts int, rho float64) (*Hierarchy, error) {
 	return ApproxOPTICSWithStats(pts, minPts, rho, nil)
 }

@@ -13,8 +13,9 @@ import (
 
 	"parclust/internal/dendrogram"
 	"parclust/internal/generator"
-	"parclust/internal/hdbscan"
+	"parclust/internal/metric"
 	"parclust/internal/mst"
+	"parclust/internal/oracle"
 )
 
 const integrationN = 600
@@ -39,7 +40,7 @@ func TestPipelineOnAllPaperDatasets(t *testing.T) {
 			}
 
 			// HDBSCAN*: both algorithms must match the mutual oracle.
-			want := mst.TotalWeight(mst.PrimDense(pts.N, hdbscan.MutualReachabilityOracle(pts, minPts)))
+			want := mst.TotalWeight(mst.PrimDense(pts.N, oracle.MutualReachability(pts, minPts, metric.L2{})))
 			for _, algo := range []HDBSCANAlgorithm{HDBSCANMemoGFK, HDBSCANGanTao} {
 				h, err := HDBSCANWithStats(pts, minPts, algo, NewStats())
 				if err != nil {

@@ -5,6 +5,7 @@ package dataio
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -13,17 +14,13 @@ import (
 	"parclust/internal/geometry"
 )
 
-// LoadCSV reads a point set from a CSV file with one point per line
+// ReadPoints reads a point set from r with one point per line
 // (comma-separated coordinates; blank lines and lines starting with '#'
-// are skipped). All rows must have the same dimension.
-func LoadCSV(path string) (geometry.Points, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return geometry.Points{}, err
-	}
-	defer f.Close()
+// are skipped). All rows must have the same dimension. name labels the
+// source in error messages.
+func ReadPoints(r io.Reader, name string) (geometry.Points, error) {
 	var rows [][]float64
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	lineno := 0
 	for sc.Scan() {
@@ -37,12 +34,12 @@ func LoadCSV(path string) (geometry.Points, error) {
 		for i, fstr := range fields {
 			v, err := strconv.ParseFloat(strings.TrimSpace(fstr), 64)
 			if err != nil {
-				return geometry.Points{}, fmt.Errorf("%s:%d: bad coordinate %q", path, lineno, fstr)
+				return geometry.Points{}, fmt.Errorf("%s:%d: bad coordinate %q", name, lineno, fstr)
 			}
 			row[i] = v
 		}
 		if len(rows) > 0 && len(row) != len(rows[0]) {
-			return geometry.Points{}, fmt.Errorf("%s:%d: dimension %d, want %d", path, lineno, len(row), len(rows[0]))
+			return geometry.Points{}, fmt.Errorf("%s:%d: dimension %d, want %d", name, lineno, len(row), len(rows[0]))
 		}
 		rows = append(rows, row)
 	}
@@ -50,9 +47,19 @@ func LoadCSV(path string) (geometry.Points, error) {
 		return geometry.Points{}, err
 	}
 	if len(rows) == 0 {
-		return geometry.Points{}, fmt.Errorf("%s: no points", path)
+		return geometry.Points{}, fmt.Errorf("%s: no points", name)
 	}
 	return geometry.FromSlices(rows), nil
+}
+
+// LoadCSV reads a point set from a CSV file via ReadPoints.
+func LoadCSV(path string) (geometry.Points, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return geometry.Points{}, err
+	}
+	defer f.Close()
+	return ReadPoints(f, path)
 }
 
 // WriteCSV writes a point set with one comma-separated point per line.

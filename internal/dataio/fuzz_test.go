@@ -1,0 +1,38 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadPoints drives the point-file parser with arbitrary bytes. The
+// parser must never panic, and any successfully parsed point set must be
+// internally consistent: positive dimension, buffer length n*dim, and
+// every row addressable at that dimension.
+func FuzzReadPoints(f *testing.F) {
+	f.Add([]byte("1,2\n3,4\n"))
+	f.Add([]byte("# comment\n\n1.5e3, -2\n0,0\n"))
+	f.Add([]byte("1,2\n3\n"))       // dimension mismatch
+	f.Add([]byte("nan,inf\n1,2\n")) // non-finite coordinates parse; API layer rejects
+	f.Add([]byte(",,\n"))
+	f.Add([]byte("1e309,0\n"))
+	f.Add([]byte(strings.Repeat("7,", 200) + "7\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, err := ReadPoints(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		if pts.N <= 0 || pts.Dim <= 0 {
+			t.Fatalf("accepted empty/invalid shape n=%d dim=%d", pts.N, pts.Dim)
+		}
+		if len(pts.Data) != pts.N*pts.Dim {
+			t.Fatalf("buffer length %d != n*dim = %d", len(pts.Data), pts.N*pts.Dim)
+		}
+		for i := 0; i < pts.N; i++ {
+			if len(pts.At(i)) != pts.Dim {
+				t.Fatalf("row %d has %d coordinates, want %d", i, len(pts.At(i)), pts.Dim)
+			}
+		}
+	})
+}

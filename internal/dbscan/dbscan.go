@@ -13,6 +13,7 @@ package dbscan
 import (
 	"parclust/internal/geometry"
 	"parclust/internal/kdtree"
+	"parclust/internal/metric"
 	"parclust/internal/parallel"
 	"parclust/internal/unionfind"
 )
@@ -30,7 +31,13 @@ type Result struct {
 // the connected components of core points under eps-adjacency; all other
 // points are noise.
 func DBSCANStar(pts geometry.Points, minPts int, eps float64) Result {
-	t := kdtree.Build(pts, 16)
+	return DBSCANStarMetric(pts, minPts, eps, metric.L2{})
+}
+
+// DBSCANStarMetric is DBSCANStar with neighborhoods taken under an
+// arbitrary metric kernel.
+func DBSCANStarMetric(pts geometry.Points, minPts int, eps float64, m metric.Metric) Result {
+	t := kdtree.BuildMetric(pts, 16, m)
 	return dbscanStarOnTree(t, minPts, eps)
 }
 
@@ -86,10 +93,24 @@ func dbscanStarOnTree(t *kdtree.Tree, minPts int, eps float64) Result {
 // cluster of the nearest core neighbor, which makes the result
 // deterministic.
 func DBSCAN(pts geometry.Points, minPts int, eps float64) Result {
-	t := kdtree.Build(pts, 16)
+	return DBSCANMetric(pts, minPts, eps, metric.L2{})
+}
+
+// DBSCANMetric is DBSCAN with neighborhoods and border attachment taken
+// under an arbitrary metric kernel.
+func DBSCANMetric(pts geometry.Points, minPts int, eps float64, m metric.Metric) Result {
+	t := kdtree.BuildMetric(pts, 16, m)
 	res := dbscanStarOnTree(t, minPts, eps)
 	n := pts.N
-	// Attach border points.
+	// Attach border points: nearest core neighbor within eps. The L2 tree
+	// compares squared distances (the seed behavior); other kernels compare
+	// tree-metric distances — both orders are monotone-equivalent.
+	dist := func(i int, j int32) float64 { return pts.SqDist(i, int(j)) }
+	maxD := eps * eps
+	if !t.IsL2() {
+		dist = func(i int, j int32) float64 { return t.PairDist(int32(i), j) }
+		maxD = eps
+	}
 	borderLabel := make([]int32, n)
 	parallel.For(n, 32, func(i int) {
 		borderLabel[i] = -1
@@ -97,12 +118,12 @@ func DBSCAN(pts geometry.Points, minPts int, eps float64) Result {
 			return
 		}
 		best := int32(-1)
-		bestD := eps * eps
+		bestD := maxD
 		for _, j := range t.RangeQuery(int32(i), eps) {
 			if !res.Core[j] {
 				continue
 			}
-			d := pts.SqDist(i, int(j))
+			d := dist(i, j)
 			if best < 0 || d < bestD || (d == bestD && j < best) {
 				best = j
 				bestD = d

@@ -59,15 +59,10 @@ func (p Points) Rows() [][]float64 {
 }
 
 // SqDist returns the squared Euclidean distance between points i and j.
+// Dimensions 2 and 3 take specialized paths via SqDistVec; hot loops that
+// want to hoist the dimension dispatch entirely use SqDistKernel instead.
 func (p Points) SqDist(i, j int) float64 {
-	a := p.Data[i*p.Dim : (i+1)*p.Dim]
-	b := p.Data[j*p.Dim : (j+1)*p.Dim]
-	var s float64
-	for k := range a {
-		d := a[k] - b[k]
-		s += d * d
-	}
-	return s
+	return SqDistVec(p.Data[i*p.Dim:(i+1)*p.Dim], p.Data[j*p.Dim:(j+1)*p.Dim])
 }
 
 // Dist returns the Euclidean distance between points i and j.
@@ -76,10 +71,53 @@ func (p Points) Dist(i, j int) float64 { return math.Sqrt(p.SqDist(i, j)) }
 // SqDistTo returns the squared Euclidean distance between point i and the raw
 // coordinate vector q (len(q) must equal Dim).
 func (p Points) SqDistTo(i int, q []float64) float64 {
-	a := p.Data[i*p.Dim : (i+1)*p.Dim]
+	return SqDistVec(p.Data[i*p.Dim:(i+1)*p.Dim], q)
+}
+
+// SqDistVec returns the squared Euclidean distance between two coordinate
+// vectors of equal length.
+func SqDistVec(a, b []float64) float64 {
+	switch len(a) {
+	case 2:
+		return sqDist2(a, b)
+	case 3:
+		return sqDist3(a, b)
+	}
+	return sqDistGeneric(a, b)
+}
+
+// SqDistKernel returns the squared-Euclidean kernel monomorphized for the
+// given dimension: dimensions 2 and 3 get straight-line bodies with no loop
+// and no per-call dimension branch. Traversals select the kernel once and
+// call it in their inner loops, so the dispatch cost is paid per traversal,
+// not per point pair.
+func SqDistKernel(dim int) func(a, b []float64) float64 {
+	switch dim {
+	case 2:
+		return sqDist2
+	case 3:
+		return sqDist3
+	}
+	return sqDistGeneric
+}
+
+func sqDist2(a, b []float64) float64 {
+	d0 := a[0] - b[0]
+	d1 := a[1] - b[1]
+	return d0*d0 + d1*d1
+}
+
+func sqDist3(a, b []float64) float64 {
+	d0 := a[0] - b[0]
+	d1 := a[1] - b[1]
+	d2 := a[2] - b[2]
+	return d0*d0 + d1*d1 + d2*d2
+}
+
+func sqDistGeneric(a, b []float64) float64 {
 	var s float64
 	for k := range a {
-		d := a[k] - q[k]
+		d := a[k] - b[k]
 		s += d * d
 	}
 	return s

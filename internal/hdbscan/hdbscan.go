@@ -8,12 +8,10 @@
 package hdbscan
 
 import (
-	"math"
-
 	"parclust/internal/geometry"
 	"parclust/internal/kdtree"
+	"parclust/internal/metric"
 	"parclust/internal/mst"
-	"parclust/internal/parallel"
 	"parclust/internal/wspd"
 )
 
@@ -40,30 +38,49 @@ const (
 	GanTaoFull
 )
 
-// Build computes the MST of the mutual reachability graph for the given
-// minPts using the selected algorithm. stats may be nil.
+// Build computes the MST of the Euclidean mutual reachability graph for
+// the given minPts using the selected algorithm. stats may be nil.
 func Build(pts geometry.Points, minPts int, algo Algorithm, stats *mst.Stats) Result {
+	return BuildMetric(pts, minPts, algo, metric.L2{}, stats)
+}
+
+// BuildMetric is Build with the base distance taken under an arbitrary
+// metric kernel: core distances, mutual reachability, and the
+// well-separation predicate all run under m. The Euclidean kernel takes
+// the paper's bounding-sphere separation tests; other kernels use their
+// own box-bound ball geometry.
+func BuildMetric(pts geometry.Points, minPts int, algo Algorithm, m metric.Metric, stats *mst.Stats) Result {
 	if stats == nil {
 		stats = mst.NewStats()
 	}
+	l2 := metric.IsL2(m)
 	var t *kdtree.Tree
 	stats.Time("build-tree", func() {
-		t = kdtree.Build(pts, 1)
+		t = kdtree.BuildMetric(pts, 1, m)
 	})
 	var cd []float64
 	stats.Time("core-dist", func() {
 		cd = t.CoreDistances(minPts)
 		t.AnnotateCoreDists(cd)
 	})
-	metric := kdtree.MutualReachability{Pts: pts, CD: cd}
+	w := kdtree.MutualReachability{Pts: pts, CD: cd}
+	if !l2 {
+		w.M = m
+	}
+	var disjunctive, geometric wspd.Separation
+	if l2 {
+		disjunctive, geometric = wspd.MutualUnreachable{}, wspd.Geometric{S: 2}
+	} else {
+		disjunctive, geometric = wspd.MetricMutualUnreachable{M: m}, wspd.MetricGeometric{M: m, S: 2}
+	}
 	var edges []mst.Edge
 	switch algo {
 	case MemoGFK:
-		edges = mst.MemoGFK(mst.Config{Tree: t, Metric: metric, Sep: wspd.MutualUnreachable{}, Stats: stats})
+		edges = mst.MemoGFK(mst.Config{Tree: t, Metric: w, Sep: disjunctive, Stats: stats})
 	case GanTao:
-		edges = mst.MemoGFK(mst.Config{Tree: t, Metric: metric, Sep: wspd.Geometric{S: 2}, Stats: stats})
+		edges = mst.MemoGFK(mst.Config{Tree: t, Metric: w, Sep: geometric, Stats: stats})
 	case GanTaoFull:
-		edges = mst.GFK(mst.Config{Tree: t, Metric: metric, Sep: wspd.Geometric{S: 2}, Stats: stats})
+		edges = mst.GFK(mst.Config{Tree: t, Metric: w, Sep: geometric, Stats: stats})
 	default:
 		panic("hdbscan: unknown algorithm")
 	}
@@ -80,38 +97,4 @@ func PairCounts(pts geometry.Points, minPts int) (geo, mutual int) {
 	geo = wspd.Count(t, wspd.Geometric{S: 2})
 	mutual = wspd.Count(t, wspd.MutualUnreachable{})
 	return geo, mutual
-}
-
-// MutualReachabilityOracle returns the dense mutual reachability distance
-// function for validation against the Prim oracle: d_m(i,j) =
-// max{cd(i), cd(j), d(i,j)} with core distances computed by brute force.
-func MutualReachabilityOracle(pts geometry.Points, minPts int) func(i, j int32) float64 {
-	cd := BruteForceCoreDistances(pts, minPts)
-	return func(i, j int32) float64 {
-		d := pts.Dist(int(i), int(j))
-		return math.Max(d, math.Max(cd[i], cd[j]))
-	}
-}
-
-// BruteForceCoreDistances computes core distances in O(n^2 log n), used by
-// tests to validate the k-d tree k-NN path.
-func BruteForceCoreDistances(pts geometry.Points, minPts int) []float64 {
-	cd := make([]float64, pts.N)
-	if minPts <= 1 {
-		return cd
-	}
-	parallel.For(pts.N, 16, func(i int) {
-		ds := make([]float64, pts.N)
-		for j := 0; j < pts.N; j++ {
-			ds[j] = pts.Dist(i, j)
-		}
-		// selection of the minPts-th smallest (including self distance 0)
-		k := minPts
-		if k > pts.N {
-			k = pts.N
-		}
-		parallel.NthElement(ds, k-1, func(a, b float64) bool { return a < b })
-		cd[i] = ds[k-1]
-	})
-	return cd
 }

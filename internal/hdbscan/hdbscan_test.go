@@ -8,7 +8,9 @@ import (
 
 	"parclust/internal/geometry"
 	"parclust/internal/kdtree"
+	"parclust/internal/metric"
 	"parclust/internal/mst"
+	"parclust/internal/oracle"
 	"parclust/internal/unionfind"
 	"parclust/internal/wspd"
 )
@@ -44,7 +46,7 @@ func TestBuildMatchesDenseOracle(t *testing.T) {
 				continue
 			}
 			pts := randPoints(n, 3, int64(n*10+minPts))
-			want := mst.TotalWeight(mst.PrimDense(n, MutualReachabilityOracle(pts, minPts)))
+			want := mst.TotalWeight(mst.PrimDense(n, oracle.MutualReachability(pts, minPts, metric.L2{})))
 			for _, algo := range []Algorithm{MemoGFK, GanTao, GanTaoFull} {
 				res := Build(pts, minPts, algo, nil)
 				checkSpanningTree(t, n, res.MST)
@@ -79,7 +81,7 @@ func TestTheoremD1(t *testing.T) {
 		pts := randPoints(200, 2, int64(minPts*7))
 		tr := kdtree.Build(pts, 1)
 		emst := mst.MemoGFK(mst.Config{Tree: tr, Metric: kdtree.Euclidean{Pts: pts}, Sep: wspd.Geometric{S: 2}})
-		dm := MutualReachabilityOracle(pts, minPts)
+		dm := oracle.MutualReachability(pts, minPts, metric.L2{})
 		var emstUnderDM float64
 		for _, e := range emst {
 			emstUnderDM += dm(e.U, e.V)
@@ -109,7 +111,7 @@ func TestFigure1WorkedExample(t *testing.T) {
 		{30, 30}, // i
 	})
 	minPts := 3
-	cd := BruteForceCoreDistances(pts, minPts)
+	cd := oracle.CoreDistances(pts, minPts, metric.L2{})
 	if math.Abs(cd[0]-4) > 1e-9 {
 		t.Fatalf("cd(a)=%v, want 4", cd[0])
 	}
@@ -118,13 +120,13 @@ func TestFigure1WorkedExample(t *testing.T) {
 	}
 	res := Build(pts, minPts, MemoGFK, nil)
 	checkSpanningTree(t, pts.N, res.MST)
-	want := mst.TotalWeight(mst.PrimDense(pts.N, MutualReachabilityOracle(pts, minPts)))
+	want := mst.TotalWeight(mst.PrimDense(pts.N, oracle.MutualReachability(pts, minPts, metric.L2{})))
 	if math.Abs(mst.TotalWeight(res.MST)-want) > 1e-9 {
 		t.Fatalf("figure-1 MST weight %v, want %v", mst.TotalWeight(res.MST), want)
 	}
 	// The edge (a,d) must have weight max{cd(a), cd(d), d(a,d)} = 4 if present;
 	// regardless, every MST edge weight must equal its mutual reachability.
-	dm := MutualReachabilityOracle(pts, minPts)
+	dm := oracle.MutualReachability(pts, minPts, metric.L2{})
 	for _, e := range res.MST {
 		if math.Abs(e.W-dm(e.U, e.V)) > 1e-9 {
 			t.Fatalf("edge %+v weight differs from d_m=%v", e, dm(e.U, e.V))
@@ -148,7 +150,7 @@ func TestBruteForceCoreDistancesQuick(t *testing.T) {
 		n := 2 + int(nRaw)%60
 		k := 1 + int(kRaw)%n
 		pts := randPoints(n, 2, seed)
-		cd := BruteForceCoreDistances(pts, k)
+		cd := oracle.CoreDistances(pts, k, metric.L2{})
 		tr := kdtree.Build(pts, 1)
 		cd2 := tr.CoreDistances(k)
 		for i := range cd {
@@ -171,7 +173,7 @@ func TestApproxOPTICSBounds(t *testing.T) {
 	for _, rho := range []float64{0.125, 0.5, 1} {
 		pts := randPoints(250, 2, int64(rho*100))
 		minPts := 5
-		exact := mst.TotalWeight(mst.PrimDense(pts.N, MutualReachabilityOracle(pts, minPts)))
+		exact := mst.TotalWeight(mst.PrimDense(pts.N, oracle.MutualReachability(pts, minPts, metric.L2{})))
 		res := ApproxOPTICS(pts, minPts, rho, nil)
 		checkSpanningTree(t, pts.N, res.MST)
 		got := mst.TotalWeight(res.MST)

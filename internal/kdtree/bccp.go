@@ -1,6 +1,10 @@
 package kdtree
 
-import "math"
+import (
+	"math"
+
+	"parclust/internal/geometry"
+)
 
 // BCCPResult is the bichromatic closest pair between two tree nodes under a
 // metric: points U in A and V in B minimizing the metric, with distance W.
@@ -13,10 +17,63 @@ type BCCPResult struct {
 // under metric m (Section 2.3). With the MutualReachability metric this is
 // the paper's BCCP*. The traversal prunes node pairs whose lower bound
 // cannot beat the best pair found so far and descends nearer pairs first.
+// The Euclidean metric is dispatched once per call to a monomorphized
+// traversal that compares squared distances and never crosses an interface
+// in its leaf loops.
 func BCCP(t *Tree, m Metric, a, b *Node) BCCPResult {
+	if _, ok := m.(Euclidean); ok {
+		best := BCCPResult{U: -1, V: -1, W: math.Inf(1)}
+		bccpL2(t, t.sqKern, a, b, &best)
+		best.W = math.Sqrt(best.W)
+		return best
+	}
 	best := BCCPResult{U: -1, V: -1, W: math.Inf(1)}
 	bccp(t, m, a, b, &best)
 	return best
+}
+
+// bccpL2 mirrors bccp for the Euclidean metric with best.W held in squared
+// space; squaring is monotone, so the traversal order and the resulting
+// pair match the generic traversal exactly.
+func bccpL2(t *Tree, kern func(a, b []float64) float64, a, b *Node, best *BCCPResult) {
+	if geometry.SqDistBoxes(a.Box, b.Box) >= best.W {
+		return
+	}
+	if a.IsLeaf() && b.IsLeaf() {
+		for _, p := range t.Points(a) {
+			pc := t.Pts.At(int(p))
+			for _, q := range t.Points(b) {
+				if p == q {
+					continue
+				}
+				if d := kern(pc, t.Pts.At(int(q))); d < best.W {
+					*best = BCCPResult{U: p, V: q, W: d}
+				}
+			}
+		}
+		return
+	}
+	if b.IsLeaf() || (!a.IsLeaf() && a.Radius >= b.Radius) {
+		d1 := geometry.SqDistBoxes(a.Left.Box, b.Box)
+		d2 := geometry.SqDistBoxes(a.Right.Box, b.Box)
+		if d1 <= d2 {
+			bccpL2(t, kern, a.Left, b, best)
+			bccpL2(t, kern, a.Right, b, best)
+		} else {
+			bccpL2(t, kern, a.Right, b, best)
+			bccpL2(t, kern, a.Left, b, best)
+		}
+		return
+	}
+	d1 := geometry.SqDistBoxes(a.Box, b.Left.Box)
+	d2 := geometry.SqDistBoxes(a.Box, b.Right.Box)
+	if d1 <= d2 {
+		bccpL2(t, kern, a, b.Left, best)
+		bccpL2(t, kern, a, b.Right, best)
+	} else {
+		bccpL2(t, kern, a, b.Right, best)
+		bccpL2(t, kern, a, b.Left, best)
+	}
 }
 
 func bccp(t *Tree, m Metric, a, b *Node, best *BCCPResult) {

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"parclust/internal/geometry"
+	"parclust/internal/metric"
 	"parclust/internal/parallel"
 	"parclust/internal/unionfind"
 )
@@ -24,6 +25,11 @@ type Node struct {
 	Box         geometry.Box
 	Ctr         []float64 // bounding box center
 	Radius      float64   // bounding sphere radius (half box diagonal)
+
+	// MDiam upper-bounds the tree-metric distance between any two points
+	// of the node (the kernel's box self-diameter). Populated at build
+	// time for non-Euclidean trees only; the L2 path uses Radius instead.
+	MDiam float64
 
 	// CDMin/CDMax bound the core distances of the node's points; they are
 	// populated by Tree.AnnotateCoreDists and are zero otherwise.
@@ -51,20 +57,42 @@ type Tree struct {
 	Root     *Node
 	LeafSize int
 
+	// M is the point-space metric queries run under (never nil; Build
+	// installs L2). The splitting rule and node boxes are coordinate-based
+	// and metric-independent; only query pruning and reported distances
+	// depend on M.
+	M metric.Metric
+
 	// CoreDist[i] is the core distance of point i (set by AnnotateCoreDists).
 	CoreDist []float64
+
+	l2     bool // M is plain Euclidean: queries take the squared-distance fast paths
+	sqKern func(a, b []float64) float64
 }
 
 // buildGrain is the subproblem size below which build recursion is sequential.
 const buildGrain = 2048
 
-// Build constructs the tree in parallel. leafSize <= 1 yields one point per
-// leaf, which the WSPD construction requires.
+// Build constructs the tree in parallel under the Euclidean metric.
+// leafSize <= 1 yields one point per leaf, which the WSPD construction
+// requires.
 func Build(pts geometry.Points, leafSize int) *Tree {
+	return BuildMetric(pts, leafSize, metric.L2{})
+}
+
+// BuildMetric constructs the tree with queries running under metric m.
+func BuildMetric(pts geometry.Points, leafSize int, m metric.Metric) *Tree {
 	if leafSize < 1 {
 		leafSize = 1
 	}
-	t := &Tree{Pts: pts, Idx: make([]int32, pts.N), LeafSize: leafSize}
+	t := &Tree{
+		Pts:      pts,
+		Idx:      make([]int32, pts.N),
+		LeafSize: leafSize,
+		M:        m,
+		l2:       metric.IsL2(m),
+		sqKern:   geometry.SqDistKernel(pts.Dim),
+	}
 	for i := range t.Idx {
 		t.Idx[i] = int32(i)
 	}
@@ -74,11 +102,25 @@ func Build(pts geometry.Points, leafSize int) *Tree {
 	return t
 }
 
+// IsL2 reports whether the tree's metric is plain Euclidean.
+func (t *Tree) IsL2() bool { return t.l2 }
+
+// PairDist returns the tree-metric distance between points i and j.
+func (t *Tree) PairDist(i, j int32) float64 {
+	if t.l2 {
+		return math.Sqrt(t.Pts.SqDist(int(i), int(j)))
+	}
+	return t.M.Dist(t.Pts.At(int(i)), t.Pts.At(int(j)))
+}
+
 func (t *Tree) build(lo, hi int32) *Node {
 	n := &Node{Lo: lo, Hi: hi, Comp: -1}
 	n.Box = geometry.BoundingBox(t.Pts, t.Idx[lo:hi])
 	n.Ctr = n.Box.Center(make([]float64, t.Pts.Dim))
 	n.Radius = n.Box.Radius()
+	if !t.l2 {
+		n.MDiam = t.M.BoxesUB(n.Box, n.Box)
+	}
 	if int(hi-lo) <= t.LeafSize {
 		return n
 	}

@@ -72,15 +72,13 @@ func (h *knnHeap) push(i int32, sq float64) {
 	}
 }
 
-// KNN returns the k nearest neighbors of point q (including q itself),
-// sorted by increasing distance.
-func (t *Tree) KNN(q int32, k int) []Neighbor {
-	h := newKNNHeap(k)
-	t.knn(t.Root, q, h)
+// popAll heap-extracts into sorted order (descending pops), mapping each
+// stored key through finish (identity for metric traversals, sqrt for the
+// squared-distance L2 traversal).
+func (h *knnHeap) popAll(finish func(float64) float64) []Neighbor {
 	out := make([]Neighbor, len(h.sq))
-	// Heap-extract into sorted order (descending pops).
 	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = Neighbor{Idx: h.idx[0], Dist: math.Sqrt(h.sq[0])}
+		out[i] = Neighbor{Idx: h.idx[0], Dist: finish(h.sq[0])}
 		last := len(h.sq) - 1
 		h.sq[0], h.idx[0] = h.sq[last], h.idx[last]
 		h.sq, h.idx = h.sq[:last], h.idx[:last]
@@ -105,14 +103,28 @@ func (t *Tree) KNN(q int32, k int) []Neighbor {
 	return out
 }
 
-func (t *Tree) knn(n *Node, q int32, h *knnHeap) {
+// KNN returns the k nearest neighbors of point q (including q itself),
+// sorted by increasing tree-metric distance.
+func (t *Tree) KNN(q int32, k int) []Neighbor {
+	h := newKNNHeap(k)
+	if t.l2 {
+		t.knn(t.Root, t.Pts.At(int(q)), h)
+		return h.popAll(math.Sqrt)
+	}
+	t.knnMetric(t.Root, t.Pts.At(int(q)), h)
+	return h.popAll(func(d float64) float64 { return d })
+}
+
+// knn is the Euclidean traversal; heap keys are squared distances and the
+// distance kernel was monomorphized once at tree build.
+func (t *Tree) knn(n *Node, qc []float64, h *knnHeap) {
 	if n == nil {
 		return
 	}
-	qc := t.Pts.At(int(q))
 	if n.IsLeaf() {
+		kern := t.sqKern
 		for _, p := range t.Points(n) {
-			h.push(p, t.Pts.SqDist(int(q), int(p)))
+			h.push(p, kern(qc, t.Pts.At(int(p))))
 		}
 		return
 	}
@@ -125,16 +137,44 @@ func (t *Tree) knn(n *Node, q int32, h *knnHeap) {
 		df, ds = dr, dl
 	}
 	if df < h.worst() {
-		t.knn(first, q, h)
+		t.knn(first, qc, h)
 	}
 	if ds < h.worst() {
-		t.knn(second, q, h)
+		t.knn(second, qc, h)
+	}
+}
+
+// knnMetric is the general traversal: heap keys are tree-metric distances
+// and pruning uses the metric's point-box lower bound.
+func (t *Tree) knnMetric(n *Node, qc []float64, h *knnHeap) {
+	if n == nil {
+		return
+	}
+	if n.IsLeaf() {
+		for _, p := range t.Points(n) {
+			h.push(p, t.M.Dist(qc, t.Pts.At(int(p))))
+		}
+		return
+	}
+	dl := t.M.PointBoxLB(qc, n.Left.Box)
+	dr := t.M.PointBoxLB(qc, n.Right.Box)
+	first, second := n.Left, n.Right
+	df, ds := dl, dr
+	if dr < dl {
+		first, second = n.Right, n.Left
+		df, ds = dr, dl
+	}
+	if df < h.worst() {
+		t.knnMetric(first, qc, h)
+	}
+	if ds < h.worst() {
+		t.knnMetric(second, qc, h)
 	}
 }
 
 // CoreDistances computes, in parallel, the core distance of every point:
-// the distance to its minPts-nearest neighbor, counting the point itself
-// (Section 2.1). minPts = 1 gives all zeros.
+// the tree-metric distance to its minPts-nearest neighbor, counting the
+// point itself (Section 2.1). minPts = 1 gives all zeros.
 func (t *Tree) CoreDistances(minPts int) []float64 {
 	cd := make([]float64, t.Pts.N)
 	if minPts <= 1 {
@@ -142,9 +182,16 @@ func (t *Tree) CoreDistances(minPts int) []float64 {
 	}
 	parallel.For(t.Pts.N, 64, func(i int) {
 		h := newKNNHeap(minPts)
-		t.knn(t.Root, int32(i), h)
-		if len(h.sq) > 0 { // heap root is the k-th (or farthest available) NN
-			cd[i] = math.Sqrt(h.sq[0])
+		if t.l2 {
+			t.knn(t.Root, t.Pts.At(i), h)
+			if len(h.sq) > 0 { // heap root is the k-th (or farthest available) NN
+				cd[i] = math.Sqrt(h.sq[0])
+			}
+			return
+		}
+		t.knnMetric(t.Root, t.Pts.At(i), h)
+		if len(h.sq) > 0 {
+			cd[i] = h.sq[0]
 		}
 	})
 	return cd

@@ -4,11 +4,12 @@ import (
 	"math"
 
 	"parclust/internal/geometry"
+	"parclust/internal/metric"
 )
 
 // Metric abstracts the edge-weight function so the same MST machinery runs
-// Euclidean EMST and mutual-reachability HDBSCAN*. NodeLB/NodeUB bound the
-// metric over all point pairs drawn from two tree nodes; NodeLB must be
+// (generalized) EMST and mutual-reachability HDBSCAN*. NodeLB/NodeUB bound
+// the metric over all point pairs drawn from two tree nodes; NodeLB must be
 // monotone non-decreasing under descent to children (box bounds are).
 type Metric interface {
 	// Dist is the metric distance between points i and j.
@@ -19,7 +20,8 @@ type Metric interface {
 	NodeUB(a, b *Node) float64
 }
 
-// Euclidean is the plain Euclidean metric over a point set.
+// Euclidean is the plain Euclidean metric over a point set. BCCP detects it
+// and switches to a monomorphized squared-distance traversal.
 type Euclidean struct{ Pts geometry.Points }
 
 // Dist returns the Euclidean distance between points i and j.
@@ -31,27 +33,65 @@ func (m Euclidean) NodeLB(a, b *Node) float64 { return BoxDist(a, b) }
 // NodeUB returns the maximum bounding-box distance between a and b.
 func (m Euclidean) NodeUB(a, b *Node) float64 { return BoxMaxDist(a, b) }
 
+// PointDist adapts a point-space metric kernel to the edge-weight
+// interface, generalizing the EMST algorithms beyond L2.
+type PointDist struct {
+	Pts geometry.Points
+	M   metric.Metric
+}
+
+// Dist returns the kernel distance between points i and j.
+func (m PointDist) Dist(i, j int32) float64 {
+	return m.M.Dist(m.Pts.At(int(i)), m.Pts.At(int(j)))
+}
+
+// NodeLB returns the kernel's box lower bound between a and b.
+func (m PointDist) NodeLB(a, b *Node) float64 { return m.M.BoxesLB(a.Box, b.Box) }
+
+// NodeUB returns the kernel's box upper bound between a and b.
+func (m PointDist) NodeUB(a, b *Node) float64 { return m.M.BoxesUB(a.Box, b.Box) }
+
 // MutualReachability is the HDBSCAN* mutual reachability metric
-// d_m(p,q) = max{cd(p), cd(q), d(p,q)} (Section 2.1). Node bounds combine box
-// distances with the CDMin/CDMax annotations (AnnotateCoreDists must have
-// been called on the tree).
+// d_m(p,q) = max{cd(p), cd(q), d(p,q)} (Section 2.1), with the base
+// distance d taken under kernel M (nil means Euclidean, the paper's
+// setting). Node bounds combine the kernel's box bounds with the
+// CDMin/CDMax annotations (AnnotateCoreDists must have been called on the
+// tree, with core distances computed under the same kernel).
 type MutualReachability struct {
 	Pts geometry.Points
 	CD  []float64
+	M   metric.Metric
 }
 
 // Dist returns the mutual reachability distance between points i and j.
 func (m MutualReachability) Dist(i, j int32) float64 {
-	d := m.Pts.Dist(int(i), int(j))
+	var d float64
+	if m.M == nil {
+		d = m.Pts.Dist(int(i), int(j))
+	} else {
+		d = m.M.Dist(m.Pts.At(int(i)), m.Pts.At(int(j)))
+	}
 	return math.Max(d, math.Max(m.CD[i], m.CD[j]))
 }
 
 // NodeLB lower-bounds the mutual reachability distance between nodes.
 func (m MutualReachability) NodeLB(a, b *Node) float64 {
-	return math.Max(BoxDist(a, b), math.Max(a.CDMin, b.CDMin))
+	var d float64
+	if m.M == nil {
+		d = BoxDist(a, b)
+	} else {
+		d = m.M.BoxesLB(a.Box, b.Box)
+	}
+	return math.Max(d, math.Max(a.CDMin, b.CDMin))
 }
 
 // NodeUB upper-bounds the mutual reachability distance between nodes.
 func (m MutualReachability) NodeUB(a, b *Node) float64 {
-	return math.Max(BoxMaxDist(a, b), math.Max(a.CDMax, b.CDMax))
+	var d float64
+	if m.M == nil {
+		d = BoxMaxDist(a, b)
+	} else {
+		d = m.M.BoxesUB(a.Box, b.Box)
+	}
+	return math.Max(d, math.Max(a.CDMax, b.CDMax))
 }

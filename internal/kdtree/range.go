@@ -2,46 +2,52 @@ package kdtree
 
 import "parclust/internal/geometry"
 
-// RangeQuery returns the indices of all points within Euclidean distance r
-// of point q (including q itself), in no particular order.
+// RangeQuery returns the indices of all points within tree-metric distance
+// r of point q (including q itself), in no particular order.
 func (t *Tree) RangeQuery(q int32, r float64) []int32 {
 	var out []int32
-	t.rangeQuery(t.Root, q, r*r, &out)
+	if t.l2 {
+		t.rangeQuery(t.Root, t.Pts.At(int(q)), r*r, &out)
+	} else {
+		t.rangeQueryMetric(t.Root, t.Pts.At(int(q)), r, &out)
+	}
 	return out
 }
 
-// RangeCount returns the number of points within distance r of point q
-// (including q itself) without materializing them. Subtrees whose bounding
-// boxes lie entirely within the ball are counted wholesale.
+// RangeCount returns the number of points within tree-metric distance r of
+// point q (including q itself) without materializing them. Subtrees whose
+// bounding boxes lie entirely within the ball are counted wholesale.
 func (t *Tree) RangeCount(q int32, r float64) int {
-	return t.rangeCount(t.Root, q, r*r)
+	if t.l2 {
+		return t.rangeCount(t.Root, t.Pts.At(int(q)), r*r)
+	}
+	return t.rangeCountMetric(t.Root, t.Pts.At(int(q)), r)
 }
 
-func (t *Tree) rangeQuery(n *Node, q int32, r2 float64, out *[]int32) {
+func (t *Tree) rangeQuery(n *Node, qc []float64, r2 float64, out *[]int32) {
 	if n == nil {
 		return
 	}
-	qc := t.Pts.At(int(q))
 	if geometry.SqDistPointBox(qc, n.Box) > r2 {
 		return
 	}
 	if n.IsLeaf() {
+		kern := t.sqKern
 		for _, p := range t.Points(n) {
-			if t.Pts.SqDist(int(q), int(p)) <= r2 {
+			if kern(qc, t.Pts.At(int(p))) <= r2 {
 				*out = append(*out, p)
 			}
 		}
 		return
 	}
-	t.rangeQuery(n.Left, q, r2, out)
-	t.rangeQuery(n.Right, q, r2, out)
+	t.rangeQuery(n.Left, qc, r2, out)
+	t.rangeQuery(n.Right, qc, r2, out)
 }
 
-func (t *Tree) rangeCount(n *Node, q int32, r2 float64) int {
+func (t *Tree) rangeCount(n *Node, qc []float64, r2 float64) int {
 	if n == nil {
 		return 0
 	}
-	qc := t.Pts.At(int(q))
 	if geometry.SqDistPointBox(qc, n.Box) > r2 {
 		return 0
 	}
@@ -49,15 +55,57 @@ func (t *Tree) rangeCount(n *Node, q int32, r2 float64) int {
 		return n.Size() // whole subtree inside the ball
 	}
 	if n.IsLeaf() {
+		kern := t.sqKern
 		cnt := 0
 		for _, p := range t.Points(n) {
-			if t.Pts.SqDist(int(q), int(p)) <= r2 {
+			if kern(qc, t.Pts.At(int(p))) <= r2 {
 				cnt++
 			}
 		}
 		return cnt
 	}
-	return t.rangeCount(n.Left, q, r2) + t.rangeCount(n.Right, q, r2)
+	return t.rangeCount(n.Left, qc, r2) + t.rangeCount(n.Right, qc, r2)
+}
+
+func (t *Tree) rangeQueryMetric(n *Node, qc []float64, r float64, out *[]int32) {
+	if n == nil {
+		return
+	}
+	if t.M.PointBoxLB(qc, n.Box) > r {
+		return
+	}
+	if n.IsLeaf() {
+		for _, p := range t.Points(n) {
+			if t.M.Dist(qc, t.Pts.At(int(p))) <= r {
+				*out = append(*out, p)
+			}
+		}
+		return
+	}
+	t.rangeQueryMetric(n.Left, qc, r, out)
+	t.rangeQueryMetric(n.Right, qc, r, out)
+}
+
+func (t *Tree) rangeCountMetric(n *Node, qc []float64, r float64) int {
+	if n == nil {
+		return 0
+	}
+	if t.M.PointBoxLB(qc, n.Box) > r {
+		return 0
+	}
+	if t.M.BoxesUB(pointBox(qc), n.Box) <= r {
+		return n.Size() // whole subtree inside the ball
+	}
+	if n.IsLeaf() {
+		cnt := 0
+		for _, p := range t.Points(n) {
+			if t.M.Dist(qc, t.Pts.At(int(p))) <= r {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	return t.rangeCountMetric(n.Left, qc, r) + t.rangeCountMetric(n.Right, qc, r)
 }
 
 func pointBox(qc []float64) geometry.Box {

@@ -9,13 +9,15 @@ import (
 	"parclust/internal/unionfind"
 )
 
-// Boruvka computes the EMST with Borůvka rounds over a k-d tree: each round
-// finds, for every point, its nearest point in a different union-find
-// component (pruning subtrees that lie wholly in the point's component),
-// reduces those candidates to one lightest outgoing edge per component, and
-// merges. It stands in for the dual-tree Borůvka baseline (mlpack) that the
-// paper's Table 3 compares against; run with GOMAXPROCS=1 it is the
-// sequential baseline, and it parallelizes over points otherwise.
+// Boruvka computes the MST under the tree's metric with Borůvka rounds
+// over a k-d tree: each round finds, for every point, its nearest point in
+// a different union-find component (pruning subtrees that lie wholly in
+// the point's component), reduces those candidates to one lightest
+// outgoing edge per component, and merges. It stands in for the dual-tree
+// Borůvka baseline (mlpack) that the paper's Table 3 compares against; run
+// with GOMAXPROCS=1 it is the sequential baseline, and it parallelizes
+// over points otherwise. The nearest-outside traversal is selected once
+// per run: Euclidean trees take the squared-distance path.
 func Boruvka(t *kdtree.Tree, stats *Stats) []Edge {
 	n := t.Pts.N
 	if n <= 1 {
@@ -24,6 +26,7 @@ func Boruvka(t *kdtree.Tree, stats *Stats) []Edge {
 	uf := unionfind.New(n)
 	out := make([]Edge, 0, n-1)
 	cand := make([]Edge, n) // cand[i]: best outgoing edge found from point i
+	l2 := t.IsL2()
 	for uf.Components() > 1 {
 		stats.AddRound()
 		var comp []int32
@@ -34,7 +37,11 @@ func Boruvka(t *kdtree.Tree, stats *Stats) []Edge {
 			parallel.For(n, 32, func(i int) {
 				q := int32(i)
 				best := Edge{U: -1, V: -1, W: math.Inf(1)}
-				nearestOutside(t, t.Root, q, comp, &best)
+				if l2 {
+					nearestOutside(t, t.Root, q, comp, &best)
+				} else {
+					nearestOutsideMetric(t, t.Root, q, comp, &best)
+				}
 				cand[i] = best
 			})
 		})
@@ -93,5 +100,39 @@ func nearestOutside(t *kdtree.Tree, nd *kdtree.Node, q int32, comp []int32, best
 	} else {
 		nearestOutside(t, nd.Right, q, comp, best)
 		nearestOutside(t, nd.Left, q, comp, best)
+	}
+}
+
+// nearestOutsideMetric is nearestOutside under the tree's metric kernel,
+// pruning with the kernel's point-box lower bound.
+func nearestOutsideMetric(t *kdtree.Tree, nd *kdtree.Node, q int32, comp []int32, best *Edge) {
+	if nd.Comp >= 0 && nd.Comp == comp[q] {
+		return // subtree entirely in q's component
+	}
+	qc := t.Pts.At(int(q))
+	if t.M.PointBoxLB(qc, nd.Box) >= best.W {
+		return
+	}
+	if nd.IsLeaf() {
+		for _, p := range t.Points(nd) {
+			if comp[p] == comp[q] {
+				continue
+			}
+			d := t.M.Dist(qc, t.Pts.At(int(p)))
+			e := MakeEdge(q, p, d)
+			if best.U < 0 || Less(e, *best) {
+				*best = e
+			}
+		}
+		return
+	}
+	dl := t.M.PointBoxLB(qc, nd.Left.Box)
+	dr := t.M.PointBoxLB(qc, nd.Right.Box)
+	if dl <= dr {
+		nearestOutsideMetric(t, nd.Left, q, comp, best)
+		nearestOutsideMetric(t, nd.Right, q, comp, best)
+	} else {
+		nearestOutsideMetric(t, nd.Right, q, comp, best)
+		nearestOutsideMetric(t, nd.Left, q, comp, best)
 	}
 }

@@ -16,6 +16,7 @@ import (
 
 	"parclust/internal/geometry"
 	"parclust/internal/kdtree"
+	"parclust/internal/metric"
 )
 
 // Entry is one position of the OPTICS ordering.
@@ -31,11 +32,17 @@ type Entry struct {
 // minPts is the density parameter; mutual selects HDBSCAN*'s symmetric
 // reachability instead of the original asymmetric one.
 func Run(pts geometry.Points, minPts int, eps float64, mutual bool) []Entry {
+	return RunMetric(pts, minPts, eps, mutual, metric.L2{})
+}
+
+// RunMetric is Run with distances, core distances, and neighborhoods taken
+// under an arbitrary metric kernel.
+func RunMetric(pts geometry.Points, minPts int, eps float64, mutual bool, m metric.Metric) []Entry {
 	n := pts.N
 	if n == 0 {
 		return nil
 	}
-	t := kdtree.Build(pts, 16)
+	t := kdtree.BuildMetric(pts, 16, m)
 	cd := t.CoreDistances(minPts)
 
 	processed := make([]bool, n)
@@ -63,7 +70,7 @@ func Run(pts geometry.Points, minPts int, eps float64, mutual bool) []Entry {
 			if processed[q] || q == p {
 				continue
 			}
-			d := pts.Dist(int(p), int(q))
+			d := t.PairDist(p, q)
 			if d > eps {
 				continue
 			}

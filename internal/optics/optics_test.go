@@ -8,6 +8,8 @@ import (
 
 	"parclust/internal/geometry"
 	"parclust/internal/hdbscan"
+	"parclust/internal/metric"
+	"parclust/internal/oracle"
 )
 
 func randPoints(n, dim int, seed int64) geometry.Points {
@@ -121,7 +123,7 @@ func TestOrderingIsPermutation(t *testing.T) {
 func TestReachabilityLowerBound(t *testing.T) {
 	pts := randPoints(150, 2, 17)
 	minPts := 5
-	cd := hdbscan.BruteForceCoreDistances(pts, minPts)
+	cd := oracle.CoreDistances(pts, minPts, metric.L2{})
 	for _, e := range Run(pts, minPts, math.Inf(1), true)[1:] {
 		if e.Reachability < cd[e.Idx]-1e-12 {
 			t.Fatalf("reachability %v below core distance %v", e.Reachability, cd[e.Idx])

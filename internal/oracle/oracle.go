@@ -1,0 +1,121 @@
+// Package oracle provides brute-force reference implementations used by
+// the differential test suites: a dense Prim MST over an arbitrary
+// distance function, O(n² log n) core distances under any metric kernel,
+// dendrogram merge-height extraction, and a BFS spanning-forest check.
+// None of it touches the k-d tree, the WSPD, the filter-Kruskal
+// machinery, or the parallel scheduler, so agreement between an oracle
+// result and a pipeline result exercises every layer of the optimized
+// path.
+package oracle
+
+import (
+	"math"
+	"sort"
+
+	"parclust/internal/geometry"
+	"parclust/internal/metric"
+	"parclust/internal/mst"
+)
+
+// PrimMST computes an MST of the complete graph on n points under dist
+// with O(n²) work, breaking weight ties by the library's shared edge
+// order. It delegates to mst.PrimDense — a from-the-definition dense Prim
+// that shares only the Edge total order with the pipelines under test (no
+// spatial pruning, no WSPD, no parallelism).
+func PrimMST(n int, dist func(i, j int32) float64) []mst.Edge {
+	return mst.PrimDense(n, dist)
+}
+
+// Dist returns the metric distance function over a point set, the input to
+// PrimMST for plain (non-density) MSTs.
+func Dist(pts geometry.Points, m metric.Metric) func(i, j int32) float64 {
+	return func(i, j int32) float64 {
+		return m.Dist(pts.At(int(i)), pts.At(int(j)))
+	}
+}
+
+// CoreDistances computes the distance from each point to its minPts-th
+// nearest neighbor (counting the point itself) by sorting each point's
+// full distance row — O(n² log n), no spatial index.
+func CoreDistances(pts geometry.Points, minPts int, m metric.Metric) []float64 {
+	cd := make([]float64, pts.N)
+	if minPts <= 1 {
+		return cd
+	}
+	k := minPts
+	if k > pts.N {
+		k = pts.N
+	}
+	for i := 0; i < pts.N; i++ {
+		row := make([]float64, pts.N)
+		for j := 0; j < pts.N; j++ {
+			row[j] = m.Dist(pts.At(i), pts.At(j))
+		}
+		sort.Float64s(row)
+		cd[i] = row[k-1]
+	}
+	return cd
+}
+
+// MutualReachability returns the dense HDBSCAN* mutual reachability
+// distance d_m(i,j) = max{cd(i), cd(j), d(i,j)} under the kernel, with
+// core distances computed by brute force.
+func MutualReachability(pts geometry.Points, minPts int, m metric.Metric) func(i, j int32) float64 {
+	cd := CoreDistances(pts, minPts, m)
+	return func(i, j int32) float64 {
+		d := m.Dist(pts.At(int(i)), pts.At(int(j)))
+		return math.Max(d, math.Max(cd[i], cd[j]))
+	}
+}
+
+// MergeHeights returns the single-linkage dendrogram merge heights implied
+// by a spanning tree: the sorted multiset of its edge weights. Two
+// spanning trees of the same graph produce identical height multisets iff
+// they induce the same single-linkage dendrogram heights, so comparing
+// these vectors cross-checks dendrogram construction without comparing
+// tree topology (which may legitimately differ under ties).
+func MergeHeights(edges []mst.Edge) []float64 {
+	h := make([]float64, len(edges))
+	for i, e := range edges {
+		h[i] = e.W
+	}
+	sort.Float64s(h)
+	return h
+}
+
+// IsSpanningTree reports whether edges form a single connected spanning
+// tree over n vertices, verified by BFS over the edge adjacency rather
+// than union-find (the structure the pipeline itself uses).
+func IsSpanningTree(n int, edges []mst.Edge) bool {
+	if n == 0 {
+		return len(edges) == 0
+	}
+	if len(edges) != n-1 {
+		return false
+	}
+	adj := make([][]int32, n)
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n || e.U == e.V {
+			return false
+		}
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	seen := make([]bool, n)
+	queue := make([]int32, 0, n)
+	queue = append(queue, 0)
+	seen[0] = true
+	visited := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		visited++
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return visited == n
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"parclust/internal/kdtree"
+	"parclust/internal/metric"
 	"parclust/internal/parallel"
 )
 
@@ -48,6 +49,49 @@ type MutualUnreachable struct{}
 func (MutualUnreachable) WellSeparated(a, b *kdtree.Node) bool {
 	d := kdtree.SphereDist(a, b)
 	maxDiam := math.Max(a.Diam(), b.Diam())
+	if d >= maxDiam { // geometrically-separated (s = 2)
+		return true
+	}
+	lhs := math.Max(d, math.Max(a.CDMin, b.CDMin))
+	rhs := math.Max(maxDiam, math.Max(a.CDMax, b.CDMax))
+	return lhs >= rhs
+}
+
+// MetricGeometric is well-separation under an arbitrary metric kernel's
+// ball geometry: the kernel gap between the node boxes must be at least
+// (S/2) times the larger kernel diameter of the boxes. With S = 2 this is
+// d(A,B) >= max(diam(A), diam(B)), the same condition Geometric{S: 2}
+// states with L2 bounding spheres — which suffices for the MST-covering
+// lemma in any metric space (the cycle-property argument needs only
+// "intra-node distances never exceed cross-node distances"), while the
+// O(n) pair-count bound additionally requires the kernel to be doubling.
+// Node diameters come from the MDiam annotation, so the tree must have
+// been built with kdtree.BuildMetric under the same kernel.
+type MetricGeometric struct {
+	M metric.Metric
+	S float64
+}
+
+// WellSeparated reports whether a and b satisfy the kernel separation test.
+func (g MetricGeometric) WellSeparated(a, b *kdtree.Node) bool {
+	diam := math.Max(a.MDiam, b.MDiam)
+	return g.M.BoxesLB(a.Box, b.Box) >= g.S/2*diam
+}
+
+// MetricMutualUnreachable is the paper's disjunctive HDBSCAN*
+// well-separation under an arbitrary metric kernel: kernel-geometric
+// separation (s = 2) OR mutual unreachability, with distances taken from
+// the kernel's box bounds, node diameters from the MDiam annotation (the
+// tree must have been built with kdtree.BuildMetric under the same
+// kernel), and core-distance annotations computed under that kernel too.
+type MetricMutualUnreachable struct {
+	M metric.Metric
+}
+
+// WellSeparated reports kernel-geometric separation or mutual unreachability.
+func (s MetricMutualUnreachable) WellSeparated(a, b *kdtree.Node) bool {
+	d := s.M.BoxesLB(a.Box, b.Box)
+	maxDiam := math.Max(a.MDiam, b.MDiam)
 	if d >= maxDiam { // geometrically-separated (s = 2)
 		return true
 	}

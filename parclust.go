@@ -10,9 +10,116 @@ import (
 	"parclust/internal/generator"
 	"parclust/internal/geometry"
 	"parclust/internal/kdtree"
+	"parclust/internal/metric"
 	"parclust/internal/mst"
 	"parclust/internal/wspd"
 )
+
+// Metric selects the distance kernel the pipeline runs under. Every
+// algorithm supports every kernel except EMSTDelaunay2D and ApproxOPTICS,
+// whose underlying theory is Euclidean-specific (both require MetricL2).
+// The WSPD-based algorithms rely on the kernel having the doubling
+// property for their O(n) pair bound; all built-in kernels qualify.
+type Metric int
+
+const (
+	// MetricL2 is the Euclidean metric (the paper's setting, and the
+	// default everywhere).
+	MetricL2 Metric = iota
+	// MetricSqL2 is squared Euclidean distance: same trees and clusters
+	// as MetricL2 with all reported weights squared.
+	MetricSqL2
+	// MetricL1 is the Manhattan metric.
+	MetricL1
+	// MetricLInf is the Chebyshev metric.
+	MetricLInf
+	// MetricAngular is the angle in radians between points treated as
+	// directions; input rows are unit-normalized internally and zero
+	// vectors are rejected. The MST matches the cosine-distance MST.
+	MetricAngular
+)
+
+// metricKernels maps each Metric constant to its kernel instance; the
+// enum order matches metric.All(). Names and parsing come from the metric
+// package, so adding a kernel means extending metric.All/metric.Parse and
+// appending one constant above.
+var metricKernels = metric.All()
+
+func (m Metric) String() string {
+	if m < 0 || int(m) >= len(metricKernels) {
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+	return metricKernels[m].Name()
+}
+
+// ParseMetric resolves a kernel name ("l2"/"euclidean", "sql2",
+// "l1"/"manhattan", "linf"/"chebyshev", "angular"/"cosine").
+func ParseMetric(name string) (Metric, error) {
+	kern, err := metric.Parse(name)
+	if err != nil {
+		return 0, fmt.Errorf("parclust: unknown metric %q (want l2|sql2|l1|linf|angular)", name)
+	}
+	for i, k := range metricKernels {
+		if k.Name() == kern.Name() {
+			return Metric(i), nil
+		}
+	}
+	return 0, fmt.Errorf("parclust: kernel %q has no public Metric constant", kern.Name())
+}
+
+// Metrics returns every supported kernel, in a fixed order.
+func Metrics() []Metric {
+	out := make([]Metric, len(metricKernels))
+	for i := range out {
+		out[i] = Metric(i)
+	}
+	return out
+}
+
+func (m Metric) kernel() (metric.Metric, error) {
+	if m < 0 || int(m) >= len(metricKernels) {
+		return nil, fmt.Errorf("parclust: unknown metric %v", m)
+	}
+	return metricKernels[m], nil
+}
+
+// prepareMetric validates pts and returns the point set the pipeline
+// should run on (a unit-normalized copy for the angular kernel) together
+// with the resolved kernel.
+func prepareMetric(pts Points, m Metric) (Points, metric.Metric, error) {
+	if err := validatePoints(pts); err != nil {
+		return Points{}, nil, err
+	}
+	kern, err := m.kernel()
+	if err != nil {
+		return Points{}, nil, err
+	}
+	if m == MetricAngular {
+		norm, err := metric.NormalizeRows(pts)
+		if err != nil {
+			return Points{}, nil, fmt.Errorf("parclust: %w", err)
+		}
+		return norm, kern, nil
+	}
+	return pts, kern, nil
+}
+
+// edgeMetricFor adapts the kernel to the MST edge-weight interface,
+// preserving the monomorphized Euclidean fast path.
+func edgeMetricFor(pts Points, kern metric.Metric) kdtree.Metric {
+	if metric.IsL2(kern) {
+		return kdtree.Euclidean{Pts: pts}
+	}
+	return kdtree.PointDist{Pts: pts, M: kern}
+}
+
+// separationFor selects the s=2 geometric well-separation for the kernel.
+func separationFor(kern metric.Metric) wspd.Separation {
+	if metric.IsL2(kern) {
+		return wspd.Geometric{S: 2}
+	}
+	return wspd.MetricGeometric{M: kern, S: 2}
+}
 
 // Points is a set of n points in d dimensions stored in a flat row-major
 // buffer (point i occupies Data[i*Dim:(i+1)*Dim]).
@@ -106,20 +213,37 @@ func EMST(pts Points) ([]Edge, error) { return EMSTWithStats(pts, EMSTMemoGFK, n
 // EMSTWithStats computes the EMST with an explicit algorithm choice,
 // recording phase timings and counters into stats when non-nil.
 func EMSTWithStats(pts Points, algo EMSTAlgorithm, stats *Stats) ([]Edge, error) {
-	if err := validatePoints(pts); err != nil {
+	return EMSTMetricWithStats(pts, algo, MetricL2, stats)
+}
+
+// EMSTMetric computes the minimum spanning tree of pts under the given
+// metric kernel with the default (MemoGFK) algorithm.
+func EMSTMetric(pts Points, m Metric) ([]Edge, error) {
+	return EMSTMetricWithStats(pts, EMSTMemoGFK, m, nil)
+}
+
+// EMSTMetricWithStats computes the MST of pts under the given metric
+// kernel with an explicit algorithm choice, recording phase timings and
+// counters into stats when non-nil. EMSTDelaunay2D supports MetricL2 only.
+func EMSTMetricWithStats(pts Points, algo EMSTAlgorithm, m Metric, stats *Stats) ([]Edge, error) {
+	pts, kern, err := prepareMetric(pts, m)
+	if err != nil {
 		return nil, err
 	}
 	if pts.N <= 1 {
 		return nil, nil
 	}
 	if algo == EMSTDelaunay2D {
+		if m != MetricL2 {
+			return nil, fmt.Errorf("parclust: %v requires the l2 metric, got %v", algo, m)
+		}
 		if pts.Dim != 2 {
 			return nil, fmt.Errorf("parclust: %v requires 2D points, got %dD", algo, pts.Dim)
 		}
 		return delaunay.EMST(pts, stats), nil
 	}
 	var t *kdtree.Tree
-	build := func() { t = kdtree.Build(pts, 1) }
+	build := func() { t = kdtree.BuildMetric(pts, 1, kern) }
 	if stats != nil {
 		stats.Time("build-tree", build)
 	} else {
@@ -128,7 +252,7 @@ func EMSTWithStats(pts Points, algo EMSTAlgorithm, stats *Stats) ([]Edge, error)
 	if algo == EMSTBoruvka {
 		return mst.Boruvka(t, stats), nil
 	}
-	cfg := mst.Config{Tree: t, Metric: kdtree.Euclidean{Pts: pts}, Sep: wspd.Geometric{S: 2}, Stats: stats}
+	cfg := mst.Config{Tree: t, Metric: edgeMetricFor(pts, kern), Sep: separationFor(kern), Stats: stats}
 	switch algo {
 	case EMSTMemoGFK:
 		return mst.MemoGFK(cfg), nil

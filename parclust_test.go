@@ -5,8 +5,9 @@ import (
 	"testing"
 	"testing/quick"
 
-	"parclust/internal/hdbscan"
+	"parclust/internal/metric"
 	"parclust/internal/mst"
+	"parclust/internal/oracle"
 )
 
 func TestEMSTAlgorithmsAgreePublicAPI(t *testing.T) {
@@ -58,7 +59,7 @@ func TestHDBSCANEndToEnd(t *testing.T) {
 	if len(h.MST) != pts.N-1 {
 		t.Fatalf("MST has %d edges", len(h.MST))
 	}
-	want := mst.TotalWeight(mst.PrimDense(pts.N, hdbscan.MutualReachabilityOracle(pts, 10)))
+	want := mst.TotalWeight(mst.PrimDense(pts.N, oracle.MutualReachability(pts, 10, metric.L2{})))
 	if math.Abs(h.TotalWeight()-want) > 1e-6*(1+want) {
 		t.Fatalf("hierarchy weight %v, want %v", h.TotalWeight(), want)
 	}
