@@ -20,8 +20,8 @@ import (
 )
 
 // mstConfig builds an internal MST config for ablation benchmarks.
-func mstConfig(t *kdtree.Tree, pts Points) mstpkg.Config {
-	return mstpkg.Config{Tree: t, Metric: kdtree.Euclidean{Pts: pts}, Sep: wspd.Geometric{S: 2}}
+func mstConfig(t *kdtree.Tree) mstpkg.Config {
+	return mstpkg.Config{Tree: t, Metric: kdtree.NewEuclidean(t), Sep: wspd.Geometric{S: 2}}
 }
 
 const benchN = 10000
@@ -322,7 +322,7 @@ func BenchmarkAblation_BetaSchedule(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cfg := mstConfig(t, pts)
+				cfg := mstConfig(t)
 				cfg.LinearBeta = linear
 				mstpkg.MemoGFK(cfg)
 			}

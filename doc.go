@@ -44,6 +44,21 @@
 // regardless of the worker count or steal schedule, and with GOMAXPROCS=1
 // every code path runs as plain sequential code.
 //
+// # Memory layout
+//
+// The hot paths are laid out for the cache, not the allocator. The k-d
+// tree slab-allocates all of its nodes in one arena with int32 child
+// indices and a single contiguous backing array for every node's bounding
+// box and center, and it physically permutes its own copy of the points
+// into kd-order, so leaf scans in k-NN, range, BCCP, and Borůvka queries
+// stream over contiguous rows (the caller's buffer is never mutated, and
+// all public results are reported in the caller's original point ids).
+// The MST drivers keep their per-round state — union-find, component
+// labels, candidate edges, dense per-component reduction slots — in a
+// reusable workspace, so steady-state Borůvka and filter-Kruskal rounds
+// perform zero heap allocations. See the README's "Performance notes" for
+// measured effects.
+//
 // # Quick start
 //
 //	pts := parclust.GenerateUniform(100000, 2, 42)

@@ -59,7 +59,7 @@ func TestEMSTMatchesMemoGFK(t *testing.T) {
 		pts := randPoints2D(n, int64(n*3))
 		got := EMST(pts, nil)
 		tr := kdtree.Build(pts, 1)
-		want := mst.MemoGFK(mst.Config{Tree: tr, Metric: kdtree.Euclidean{Pts: pts}, Sep: wspd.Geometric{S: 2}})
+		want := mst.MemoGFK(mst.Config{Tree: tr, Metric: kdtree.NewEuclidean(tr), Sep: wspd.Geometric{S: 2}})
 		if len(got) != n-1 {
 			t.Fatalf("n=%d: %d edges, want %d", n, len(got), n-1)
 		}

@@ -24,7 +24,7 @@ func randPoints(n, dim int, seed int64) geometry.Points {
 
 func emstOf(pts geometry.Points) []mst.Edge {
 	t := kdtree.Build(pts, 1)
-	return mst.MemoGFK(mst.Config{Tree: t, Metric: kdtree.Euclidean{Pts: pts}, Sep: wspd.Geometric{S: 2}})
+	return mst.MemoGFK(mst.Config{Tree: t, Metric: kdtree.NewEuclidean(t), Sep: wspd.Geometric{S: 2}})
 }
 
 // randTree builds a random spanning tree with random weights.
@@ -138,8 +138,7 @@ func TestParallelOnEMSTWithTies(t *testing.T) {
 	tr := kdtree.Build(pts, 1)
 	cd := tr.CoreDistances(10)
 	tr.AnnotateCoreDists(cd)
-	metric := kdtree.MutualReachability{Pts: pts, CD: cd}
-	edges := mst.MemoGFK(mst.Config{Tree: tr, Metric: metric, Sep: wspd.MutualUnreachable{}})
+	edges := mst.MemoGFK(mst.Config{Tree: tr, Metric: kdtree.NewMutualReachability(tr), Sep: wspd.MutualUnreachable{}})
 	for _, s := range []int32{0, 13, 399} {
 		dp := BuildParallelThreshold(pts.N, append([]mst.Edge(nil), edges...), s, 16)
 		want := PrimOrder(pts.N, edges, s)
@@ -239,8 +238,7 @@ func TestCutTreeMatchesBruteForceDBSCANStar(t *testing.T) {
 	tr := kdtree.Build(pts, 1)
 	cd := tr.CoreDistances(minPts)
 	tr.AnnotateCoreDists(cd)
-	metric := kdtree.MutualReachability{Pts: pts, CD: cd}
-	edges := mst.MemoGFK(mst.Config{Tree: tr, Metric: metric, Sep: wspd.MutualUnreachable{}})
+	edges := mst.MemoGFK(mst.Config{Tree: tr, Metric: kdtree.NewMutualReachability(tr), Sep: wspd.MutualUnreachable{}})
 	for _, eps := range []float64{0.5, 2, 5, 12, 40} {
 		got := CutTree(pts.N, edges, cd, eps)
 		want := bruteDBSCANStar(pts, minPts, eps)

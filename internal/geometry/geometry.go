@@ -171,6 +171,21 @@ func BoundingBox(p Points, idx []int32) Box {
 	return b
 }
 
+// BoundingBoxRange computes the bounding box of the contiguous rows
+// [lo, hi) of p into b, whose Lo/Hi must already have length p.Dim. The
+// scan runs straight over the backing buffer, allocating nothing.
+func BoundingBoxRange(b *Box, p Points, lo, hi int) {
+	d := p.Dim
+	for k := 0; k < d; k++ {
+		b.Lo[k] = math.Inf(1)
+		b.Hi[k] = math.Inf(-1)
+	}
+	rows := p.Data[lo*d : hi*d]
+	for r := 0; r < len(rows); r += d {
+		b.Extend(rows[r : r+d : r+d])
+	}
+}
+
 // Center writes the box center into out and returns it.
 func (b Box) Center(out []float64) []float64 {
 	for k := range b.Lo {

@@ -63,10 +63,9 @@ func BuildMetric(pts geometry.Points, minPts int, algo Algorithm, m metric.Metri
 		cd = t.CoreDistances(minPts)
 		t.AnnotateCoreDists(cd)
 	})
-	w := kdtree.MutualReachability{Pts: pts, CD: cd}
-	if !l2 {
-		w.M = m
-	}
+	// The edge metric runs in the tree's kd-order space (contiguous leaf
+	// scans); cd stays in original id order for the Result.
+	w := kdtree.NewMutualReachability(t)
 	var disjunctive, geometric wspd.Separation
 	if l2 {
 		disjunctive, geometric = wspd.MutualUnreachable{}, wspd.Geometric{S: 2}

@@ -65,7 +65,7 @@ func TestBuildMatchesDenseOracle(t *testing.T) {
 func TestMinPtsOneEqualsEMST(t *testing.T) {
 	pts := randPoints(300, 2, 3)
 	tr := kdtree.Build(pts, 1)
-	emst := mst.MemoGFK(mst.Config{Tree: tr, Metric: kdtree.Euclidean{Pts: pts}, Sep: wspd.Geometric{S: 2}})
+	emst := mst.MemoGFK(mst.Config{Tree: tr, Metric: kdtree.NewEuclidean(tr), Sep: wspd.Geometric{S: 2}})
 	res := Build(pts, 1, MemoGFK, nil)
 	if math.Abs(mst.TotalWeight(emst)-mst.TotalWeight(res.MST)) > 1e-9 {
 		t.Fatalf("minPts=1 MST weight %v differs from EMST %v",
@@ -80,7 +80,7 @@ func TestTheoremD1(t *testing.T) {
 	for _, minPts := range []int{2, 3} {
 		pts := randPoints(200, 2, int64(minPts*7))
 		tr := kdtree.Build(pts, 1)
-		emst := mst.MemoGFK(mst.Config{Tree: tr, Metric: kdtree.Euclidean{Pts: pts}, Sep: wspd.Geometric{S: 2}})
+		emst := mst.MemoGFK(mst.Config{Tree: tr, Metric: kdtree.NewEuclidean(tr), Sep: wspd.Geometric{S: 2}})
 		dm := oracle.MutualReachability(pts, minPts, metric.L2{})
 		var emstUnderDM float64
 		for _, e := range emst {

@@ -40,9 +40,12 @@ func ApproxOPTICS(pts geometry.Points, minPts int, rho float64, stats *mst.Stats
 	stats.Time("wspd", func() {
 		pairs = wspd.Decompose(t, wspd.Geometric{S: s})
 	})
+	// Candidate generation runs in the tree's kd-order space (node point
+	// ranges are contiguous); edges are mapped back to original ids after
+	// Kruskal. t.CoreDist is the kd-order copy AnnotateCoreDists made.
 	weight := func(u, v int32) float64 {
-		d := pts.Dist(int(u), int(v)) / (1 + rho)
-		return math.Max(d, math.Max(cd[u], cd[v]))
+		d := t.Pts.Dist(int(u), int(v)) / (1 + rho)
+		return math.Max(d, math.Max(t.CoreDist[u], t.CoreDist[v]))
 	}
 	// Generate candidate edges per pair (cases (a)-(d) of Appendix C).
 	perPair := make([][]mst.Edge, len(pairs))
@@ -95,5 +98,8 @@ func ApproxOPTICS(pts geometry.Points, minPts int, rho float64, stats *mst.Stats
 	stats.Time("kruskal", func() {
 		out = mst.Kruskal(pts.N, edges)
 	})
+	for i, e := range out {
+		out[i] = mst.MakeEdge(t.Orig[e.U], t.Orig[e.V], e.W)
+	}
 	return Result{MST: out, CoreDist: cd, Tree: t, Stats: stats}
 }

@@ -7,7 +7,8 @@ import (
 )
 
 // BCCPResult is the bichromatic closest pair between two tree nodes under a
-// metric: points U in A and V in B minimizing the metric, with distance W.
+// metric: kd-order positions U in A and V in B minimizing the metric, with
+// distance W. Map positions through Tree.Orig for original ids.
 type BCCPResult struct {
 	U, V int32
 	W    float64
@@ -19,7 +20,8 @@ type BCCPResult struct {
 // cannot beat the best pair found so far and descends nearer pairs first.
 // The Euclidean metric is dispatched once per call to a monomorphized
 // traversal that compares squared distances and never crosses an interface
-// in its leaf loops.
+// in its leaf loops; with the kd-ordered layout both sides of a leaf-leaf
+// scan are contiguous row blocks.
 func BCCP(t *Tree, m Metric, a, b *Node) BCCPResult {
 	if _, ok := m.(Euclidean); ok {
 		best := BCCPResult{U: -1, V: -1, W: math.Inf(1)}
@@ -32,6 +34,115 @@ func BCCP(t *Tree, m Metric, a, b *Node) BCCPResult {
 	return best
 }
 
+// BCCPSq computes the bichromatic closest pair between a and b in squared
+// space: under plain squared Euclidean distance when cd is nil, or under
+// squared mutual reachability max{d², cd[p]², cd[q]²} when cd holds the
+// kd-order core distances (node CDMin/CDMax annotations must be set). The
+// returned W is the squared-space weight; callers needing the true metric
+// weight evaluate their metric on (U, V). MemoGFK's monomorphized L2 fast
+// paths run entirely against this traversal.
+func BCCPSq(t *Tree, cd []float64, a, b *Node) BCCPResult {
+	best := BCCPResult{U: -1, V: -1, W: math.Inf(1)}
+	if cd == nil {
+		bccpL2(t, t.sqKern, a, b, &best)
+		return best
+	}
+	bccpMutSq(t, cd, a, b, &best)
+	return best
+}
+
+// bccpMutSq is bccpL2 under squared mutual reachability: leaf weights are
+// max{d², cd[p]², cd[q]²} and pruning uses the squared node lower bound
+// max{boxdist², cdmin²}.
+func bccpMutSq(t *Tree, cd []float64, a, b *Node, best *BCCPResult) {
+	if sqMutNodeLB(a, b) >= best.W {
+		return
+	}
+	if a.IsLeaf() && b.IsLeaf() {
+		kern := t.sqKern
+		d := t.Pts.Dim
+		data := t.Pts.Data
+		for p := a.Lo; p < a.Hi; p++ {
+			rp := int(p) * d
+			pc := data[rp : rp+d : rp+d]
+			cp2 := cd[p] * cd[p]
+			for q := b.Lo; q < b.Hi; q++ {
+				if p == q {
+					continue
+				}
+				rq := int(q) * d
+				w := kern(pc, data[rq:rq+d:rq+d])
+				if cp2 > w {
+					w = cp2
+				}
+				if cq2 := cd[q] * cd[q]; cq2 > w {
+					w = cq2
+				}
+				if w < best.W {
+					*best = BCCPResult{U: p, V: q, W: w}
+				}
+			}
+		}
+		return
+	}
+	if b.IsLeaf() || (!a.IsLeaf() && a.Radius >= b.Radius) {
+		al, ar := t.LeftOf(a), t.RightOf(a)
+		d1 := sqMutNodeLB(al, b)
+		d2 := sqMutNodeLB(ar, b)
+		if d1 <= d2 {
+			bccpMutSq(t, cd, al, b, best)
+			bccpMutSq(t, cd, ar, b, best)
+		} else {
+			bccpMutSq(t, cd, ar, b, best)
+			bccpMutSq(t, cd, al, b, best)
+		}
+		return
+	}
+	bl, br := t.LeftOf(b), t.RightOf(b)
+	d1 := sqMutNodeLB(a, bl)
+	d2 := sqMutNodeLB(a, br)
+	if d1 <= d2 {
+		bccpMutSq(t, cd, a, bl, best)
+		bccpMutSq(t, cd, a, br, best)
+	} else {
+		bccpMutSq(t, cd, a, br, best)
+		bccpMutSq(t, cd, a, bl, best)
+	}
+}
+
+// sqMutNodeLB is the squared mutual-reachability node lower bound
+// max{boxdist², max(CDMin)²}. For trees without core-distance annotations
+// (CDMin zero) it degenerates to the plain squared box distance.
+func sqMutNodeLB(a, b *Node) float64 {
+	s := geometry.SqDistBoxes(a.Box, b.Box)
+	c := a.CDMin
+	if b.CDMin > c {
+		c = b.CDMin
+	}
+	if c2 := c * c; c2 > s {
+		return c2
+	}
+	return s
+}
+
+// SqMutNodeLB exposes the squared mutual-reachability lower bound for the
+// MST package's monomorphized traversals.
+func SqMutNodeLB(a, b *Node) float64 { return sqMutNodeLB(a, b) }
+
+// SqMutNodeUB is the squared mutual-reachability node upper bound
+// max{boxmaxdist², max(CDMax)²}.
+func SqMutNodeUB(a, b *Node) float64 {
+	s := geometry.SqMaxDistBoxes(a.Box, b.Box)
+	c := a.CDMax
+	if b.CDMax > c {
+		c = b.CDMax
+	}
+	if c2 := c * c; c2 > s {
+		return c2
+	}
+	return s
+}
+
 // bccpL2 mirrors bccp for the Euclidean metric with best.W held in squared
 // space; squaring is monotone, so the traversal order and the resulting
 // pair match the generic traversal exactly.
@@ -40,39 +151,45 @@ func bccpL2(t *Tree, kern func(a, b []float64) float64, a, b *Node, best *BCCPRe
 		return
 	}
 	if a.IsLeaf() && b.IsLeaf() {
-		for _, p := range t.Points(a) {
-			pc := t.Pts.At(int(p))
-			for _, q := range t.Points(b) {
+		d := t.Pts.Dim
+		data := t.Pts.Data
+		for p := a.Lo; p < a.Hi; p++ {
+			rp := int(p) * d
+			pc := data[rp : rp+d : rp+d]
+			for q := b.Lo; q < b.Hi; q++ {
 				if p == q {
 					continue
 				}
-				if d := kern(pc, t.Pts.At(int(q))); d < best.W {
-					*best = BCCPResult{U: p, V: q, W: d}
+				rq := int(q) * d
+				if w := kern(pc, data[rq:rq+d:rq+d]); w < best.W {
+					*best = BCCPResult{U: p, V: q, W: w}
 				}
 			}
 		}
 		return
 	}
 	if b.IsLeaf() || (!a.IsLeaf() && a.Radius >= b.Radius) {
-		d1 := geometry.SqDistBoxes(a.Left.Box, b.Box)
-		d2 := geometry.SqDistBoxes(a.Right.Box, b.Box)
+		al, ar := t.LeftOf(a), t.RightOf(a)
+		d1 := geometry.SqDistBoxes(al.Box, b.Box)
+		d2 := geometry.SqDistBoxes(ar.Box, b.Box)
 		if d1 <= d2 {
-			bccpL2(t, kern, a.Left, b, best)
-			bccpL2(t, kern, a.Right, b, best)
+			bccpL2(t, kern, al, b, best)
+			bccpL2(t, kern, ar, b, best)
 		} else {
-			bccpL2(t, kern, a.Right, b, best)
-			bccpL2(t, kern, a.Left, b, best)
+			bccpL2(t, kern, ar, b, best)
+			bccpL2(t, kern, al, b, best)
 		}
 		return
 	}
-	d1 := geometry.SqDistBoxes(a.Box, b.Left.Box)
-	d2 := geometry.SqDistBoxes(a.Box, b.Right.Box)
+	bl, br := t.LeftOf(b), t.RightOf(b)
+	d1 := geometry.SqDistBoxes(a.Box, bl.Box)
+	d2 := geometry.SqDistBoxes(a.Box, br.Box)
 	if d1 <= d2 {
-		bccpL2(t, kern, a, b.Left, best)
-		bccpL2(t, kern, a, b.Right, best)
+		bccpL2(t, kern, a, bl, best)
+		bccpL2(t, kern, a, br, best)
 	} else {
-		bccpL2(t, kern, a, b.Right, best)
-		bccpL2(t, kern, a, b.Left, best)
+		bccpL2(t, kern, a, br, best)
+		bccpL2(t, kern, a, bl, best)
 	}
 }
 
@@ -81,8 +198,8 @@ func bccp(t *Tree, m Metric, a, b *Node, best *BCCPResult) {
 		return
 	}
 	if a.IsLeaf() && b.IsLeaf() {
-		for _, p := range t.Points(a) {
-			for _, q := range t.Points(b) {
+		for p := a.Lo; p < a.Hi; p++ {
+			for q := b.Lo; q < b.Hi; q++ {
 				if p == q {
 					continue
 				}
@@ -96,24 +213,26 @@ func bccp(t *Tree, m Metric, a, b *Node, best *BCCPResult) {
 	// Split the node with the larger bounding sphere (matching FindPair's
 	// convention); descend the nearer child pair first for tighter pruning.
 	if b.IsLeaf() || (!a.IsLeaf() && a.Radius >= b.Radius) {
-		d1 := m.NodeLB(a.Left, b)
-		d2 := m.NodeLB(a.Right, b)
+		al, ar := t.LeftOf(a), t.RightOf(a)
+		d1 := m.NodeLB(al, b)
+		d2 := m.NodeLB(ar, b)
 		if d1 <= d2 {
-			bccp(t, m, a.Left, b, best)
-			bccp(t, m, a.Right, b, best)
+			bccp(t, m, al, b, best)
+			bccp(t, m, ar, b, best)
 		} else {
-			bccp(t, m, a.Right, b, best)
-			bccp(t, m, a.Left, b, best)
+			bccp(t, m, ar, b, best)
+			bccp(t, m, al, b, best)
 		}
 		return
 	}
-	d1 := m.NodeLB(a, b.Left)
-	d2 := m.NodeLB(a, b.Right)
+	bl, br := t.LeftOf(b), t.RightOf(b)
+	d1 := m.NodeLB(a, bl)
+	d2 := m.NodeLB(a, br)
 	if d1 <= d2 {
-		bccp(t, m, a, b.Left, best)
-		bccp(t, m, a, b.Right, best)
+		bccp(t, m, a, bl, best)
+		bccp(t, m, a, br, best)
 	} else {
-		bccp(t, m, a, b.Right, best)
-		bccp(t, m, a, b.Left, best)
+		bccp(t, m, a, br, best)
+		bccp(t, m, a, bl, best)
 	}
 }

@@ -32,11 +32,12 @@ func checkTree(t *testing.T, tr *Tree) {
 				seen[p]++
 			}
 		} else {
-			if n.Left.Lo != n.Lo || n.Left.Hi != n.Right.Lo || n.Right.Hi != n.Hi {
+			l, r := tr.LeftOf(n), tr.RightOf(n)
+			if l.Lo != n.Lo || l.Hi != r.Lo || r.Hi != n.Hi {
 				t.Fatal("child ranges do not partition parent")
 			}
-			walk(n.Left)
-			walk(n.Right)
+			walk(l)
+			walk(r)
 		}
 		// box sanity: contains all points; radius covers them
 		for _, p := range tr.Points(n) {
@@ -132,15 +133,19 @@ func TestAnnotateCoreDists(t *testing.T) {
 	walk = func(n *Node) {
 		lo, hi := math.Inf(1), math.Inf(-1)
 		for _, p := range tr.Points(n) {
-			lo = math.Min(lo, cd[p])
-			hi = math.Max(hi, cd[p])
+			// Node points are kd-order positions; cd is in original order.
+			lo = math.Min(lo, cd[tr.Orig[p]])
+			hi = math.Max(hi, cd[tr.Orig[p]])
+			if tr.CoreDist[p] != cd[tr.Orig[p]] {
+				t.Fatal("kd-order CoreDist copy disagrees with original-order cd")
+			}
 		}
 		if n.CDMin != lo || n.CDMax != hi {
 			t.Fatalf("node cd bounds [%v,%v], want [%v,%v]", n.CDMin, n.CDMax, lo, hi)
 		}
 		if !n.IsLeaf() {
-			walk(n.Left)
-			walk(n.Right)
+			walk(tr.LeftOf(n))
+			walk(tr.RightOf(n))
 		}
 	}
 	walk(tr.Root)
@@ -176,8 +181,8 @@ func TestRefreshComponents(t *testing.T) {
 			t.Fatal("mixed node not labeled -1")
 		}
 		if !n.IsLeaf() {
-			walk(n.Left)
-			walk(n.Right)
+			walk(tr.LeftOf(n))
+			walk(tr.RightOf(n))
 		}
 	}
 	walk(tr.Root)
@@ -201,17 +206,17 @@ func bruteBCCP(pts geometry.Points, m Metric, a, b []int32) BCCPResult {
 func TestBCCPEuclidean(t *testing.T) {
 	pts := randPoints(400, 3, 14)
 	tr := Build(pts, 4)
-	m := Euclidean{Pts: pts}
-	a, b := tr.Root.Left, tr.Root.Right
+	m := NewEuclidean(tr)
+	a, b := tr.LeftOf(tr.Root), tr.RightOf(tr.Root)
 	got := BCCP(tr, m, a, b)
-	want := bruteBCCP(pts, m, tr.Points(a), tr.Points(b))
+	want := bruteBCCP(tr.Pts, m, tr.Points(a), tr.Points(b))
 	if math.Abs(got.W-want.W) > 1e-12 {
 		t.Fatalf("BCCP weight %v, want %v", got.W, want.W)
 	}
 	// deeper node pairs
 	if !a.IsLeaf() && !b.IsLeaf() {
-		got = BCCP(tr, m, a.Left, b.Right)
-		want = bruteBCCP(pts, m, tr.Points(a.Left), tr.Points(b.Right))
+		got = BCCP(tr, m, tr.LeftOf(a), tr.RightOf(b))
+		want = bruteBCCP(tr.Pts, m, tr.Points(tr.LeftOf(a)), tr.Points(tr.RightOf(b)))
 		if math.Abs(got.W-want.W) > 1e-12 {
 			t.Fatalf("deep BCCP weight %v, want %v", got.W, want.W)
 		}
@@ -223,10 +228,10 @@ func TestBCCPMutualReachability(t *testing.T) {
 	tr := Build(pts, 4)
 	cd := tr.CoreDistances(5)
 	tr.AnnotateCoreDists(cd)
-	m := MutualReachability{Pts: pts, CD: cd}
-	a, b := tr.Root.Left, tr.Root.Right
+	m := NewMutualReachability(tr)
+	a, b := tr.LeftOf(tr.Root), tr.RightOf(tr.Root)
 	got := BCCP(tr, m, a, b)
-	want := bruteBCCP(pts, m, tr.Points(a), tr.Points(b))
+	want := bruteBCCP(tr.Pts, m, tr.Points(a), tr.Points(b))
 	if math.Abs(got.W-want.W) > 1e-12 {
 		t.Fatalf("BCCP* weight %v, want %v", got.W, want.W)
 	}
@@ -237,14 +242,14 @@ func TestMetricBoundsQuick(t *testing.T) {
 	tr := Build(pts, 4)
 	cd := tr.CoreDistances(4)
 	tr.AnnotateCoreDists(cd)
-	metrics := []Metric{Euclidean{Pts: pts}, MutualReachability{Pts: pts, CD: cd}}
+	metrics := []Metric{NewEuclidean(tr), NewMutualReachability(tr)}
 	var nodes []*Node
 	var collect func(n *Node)
 	collect = func(n *Node) {
 		nodes = append(nodes, n)
 		if !n.IsLeaf() {
-			collect(n.Left)
-			collect(n.Right)
+			collect(tr.LeftOf(n))
+			collect(tr.RightOf(n))
 		}
 	}
 	collect(tr.Root)

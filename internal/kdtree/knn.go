@@ -7,22 +7,28 @@ import (
 	"parclust/internal/parallel"
 )
 
-// Neighbor is a k-NN result entry.
+// Neighbor is a k-NN result entry. Idx is an original input id.
 type Neighbor struct {
 	Idx  int32
 	Dist float64
 }
 
 // knnHeap is a bounded max-heap of size k over squared distances, used so
-// the worst current candidate can be evicted in O(log k).
+// the worst current candidate can be evicted in O(log k). Stored indices
+// are kd-order positions; callers map them to original ids on extraction.
 type knnHeap struct {
 	idx []int32
 	sq  []float64
 	k   int
 }
 
-func newKNNHeap(k int) *knnHeap {
-	return &knnHeap{idx: make([]int32, 0, k), sq: make([]float64, 0, k), k: k}
+// reset prepares the heap for a query of size k, reusing its arrays.
+func (h *knnHeap) reset(k int) {
+	if cap(h.idx) < k {
+		h.idx = make([]int32, 0, k)
+		h.sq = make([]float64, 0, k)
+	}
+	h.idx, h.sq, h.k = h.idx[:0], h.sq[:0], k
 }
 
 func (h *knnHeap) worst() float64 {
@@ -72,13 +78,15 @@ func (h *knnHeap) push(i int32, sq float64) {
 	}
 }
 
-// popAll heap-extracts into sorted order (descending pops), mapping each
-// stored key through finish (identity for metric traversals, sqrt for the
-// squared-distance L2 traversal).
-func (h *knnHeap) popAll(finish func(float64) float64) []Neighbor {
-	out := make([]Neighbor, len(h.sq))
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = Neighbor{Idx: h.idx[0], Dist: finish(h.sq[0])}
+// popAllInto heap-extracts into sorted order (descending pops) appending to
+// out, mapping each stored key through finish (identity for metric
+// traversals, sqrt for the squared-distance L2 traversal) and each stored
+// position through orig.
+func (h *knnHeap) popAllInto(out []Neighbor, orig []int32, finish func(float64) float64) []Neighbor {
+	start := len(out)
+	out = append(out, make([]Neighbor, len(h.sq))...)
+	for i := len(out) - 1; i >= start; i-- {
+		out[i] = Neighbor{Idx: orig[h.idx[0]], Dist: finish(h.sq[0])}
 		last := len(h.sq) - 1
 		h.sq[0], h.idx[0] = h.sq[last], h.idx[last]
 		h.sq, h.idx = h.sq[:last], h.idx[:last]
@@ -103,37 +111,63 @@ func (h *knnHeap) popAll(finish func(float64) float64) []Neighbor {
 	return out
 }
 
-// KNN returns the k nearest neighbors of point q (including q itself),
-// sorted by increasing tree-metric distance.
-func (t *Tree) KNN(q int32, k int) []Neighbor {
-	h := newKNNHeap(k)
-	if t.l2 {
-		t.knn(t.Root, t.Pts.At(int(q)), h)
-		return h.popAll(math.Sqrt)
-	}
-	t.knnMetric(t.Root, t.Pts.At(int(q)), h)
-	return h.popAll(func(d float64) float64 { return d })
+func identity(d float64) float64 { return d }
+
+// KNNWorkspace carries the reusable buffers of a k-NN query stream. A
+// workspace serves one goroutine; steady-state KNNInto calls through it
+// perform zero heap allocations.
+type KNNWorkspace struct {
+	h   knnHeap
+	out []Neighbor
 }
 
-// knn is the Euclidean traversal; heap keys are squared distances and the
-// distance kernel was monomorphized once at tree build.
+// KNN returns the k nearest neighbors of the point with original id q
+// (including q itself), sorted by increasing tree-metric distance.
+func (t *Tree) KNN(q int32, k int) []Neighbor {
+	var ws KNNWorkspace
+	return t.KNNInto(q, k, &ws)
+}
+
+// KNNInto is KNN reusing the workspace's buffers; the returned slice is
+// valid until the next call with the same workspace.
+func (t *Tree) KNNInto(q int32, k int, ws *KNNWorkspace) []Neighbor {
+	ws.h.reset(k)
+	ws.out = ws.out[:0]
+	qc := t.Pts.At(int(t.Inv[q]))
+	if t.l2 {
+		t.knn(t.Root, qc, &ws.h)
+		ws.out = ws.h.popAllInto(ws.out, t.Orig, math.Sqrt)
+		return ws.out
+	}
+	t.knnMetric(t.Root, qc, &ws.h)
+	ws.out = ws.h.popAllInto(ws.out, t.Orig, identity)
+	return ws.out
+}
+
+// knn is the Euclidean traversal; heap keys are squared distances, the
+// distance kernel was monomorphized once at tree build, and leaf scans run
+// over contiguous kd-ordered rows.
 func (t *Tree) knn(n *Node, qc []float64, h *knnHeap) {
 	if n == nil {
 		return
 	}
 	if n.IsLeaf() {
 		kern := t.sqKern
-		for _, p := range t.Points(n) {
-			h.push(p, kern(qc, t.Pts.At(int(p))))
+		d := t.Pts.Dim
+		data := t.Pts.Data
+		for p := n.Lo; p < n.Hi; p++ {
+			r := int(p) * d
+			h.push(p, kern(qc, data[r:r+d:r+d]))
 		}
 		return
 	}
-	dl := geometry.SqDistPointBox(qc, n.Left.Box)
-	dr := geometry.SqDistPointBox(qc, n.Right.Box)
-	first, second := n.Left, n.Right
+	left, right := t.LeftOf(n), t.RightOf(n)
+	dl := geometry.SqDistPointBox(qc, left.Box)
+	dr := geometry.SqDistPointBox(qc, right.Box)
+	first, second := left, right
 	df, ds := dl, dr
 	if dr < dl {
-		first, second = n.Right, n.Left
+		first, second = right, left
 		df, ds = dr, dl
 	}
 	if df < h.worst() {
@@ -151,17 +185,21 @@ func (t *Tree) knnMetric(n *Node, qc []float64, h *knnHeap) {
 		return
 	}
 	if n.IsLeaf() {
-		for _, p := range t.Points(n) {
-			h.push(p, t.M.Dist(qc, t.Pts.At(int(p))))
+		d := t.Pts.Dim
+		data := t.Pts.Data
+		for p := n.Lo; p < n.Hi; p++ {
+			r := int(p) * d
+			h.push(p, t.M.Dist(qc, data[r:r+d:r+d]))
 		}
 		return
 	}
-	dl := t.M.PointBoxLB(qc, n.Left.Box)
-	dr := t.M.PointBoxLB(qc, n.Right.Box)
-	first, second := n.Left, n.Right
+	left, right := t.LeftOf(n), t.RightOf(n)
+	dl := t.M.PointBoxLB(qc, left.Box)
+	dr := t.M.PointBoxLB(qc, right.Box)
+	first, second := left, right
 	df, ds := dl, dr
 	if dr < dl {
-		first, second = n.Right, n.Left
+		first, second = right, left
 		df, ds = dr, dl
 	}
 	if df < h.worst() {
@@ -174,24 +212,32 @@ func (t *Tree) knnMetric(n *Node, qc []float64, h *knnHeap) {
 
 // CoreDistances computes, in parallel, the core distance of every point:
 // the tree-metric distance to its minPts-nearest neighbor, counting the
-// point itself (Section 2.1). minPts = 1 gives all zeros.
+// point itself (Section 2.1). The result is in original id order; minPts=1
+// gives all zeros. Query points stream through the kd-ordered rows, and
+// each worker chunk reuses one heap.
 func (t *Tree) CoreDistances(minPts int) []float64 {
 	cd := make([]float64, t.Pts.N)
 	if minPts <= 1 {
 		return cd
 	}
-	parallel.For(t.Pts.N, 64, func(i int) {
-		h := newKNNHeap(minPts)
-		if t.l2 {
-			t.knn(t.Root, t.Pts.At(i), h)
-			if len(h.sq) > 0 { // heap root is the k-th (or farthest available) NN
-				cd[i] = math.Sqrt(h.sq[0])
+	dim := t.Pts.Dim
+	data := t.Pts.Data
+	parallel.ForRange(t.Pts.N, 64, func(lo, hi int) {
+		var h knnHeap
+		for p := lo; p < hi; p++ {
+			h.reset(minPts)
+			qc := data[p*dim : (p+1)*dim : (p+1)*dim]
+			if t.l2 {
+				t.knn(t.Root, qc, &h)
+				if len(h.sq) > 0 { // heap root is the k-th (or farthest available) NN
+					cd[t.Orig[p]] = math.Sqrt(h.sq[0])
+				}
+				continue
 			}
-			return
-		}
-		t.knnMetric(t.Root, t.Pts.At(i), h)
-		if len(h.sq) > 0 {
-			cd[i] = h.sq[0]
+			t.knnMetric(t.Root, qc, &h)
+			if len(h.sq) > 0 {
+				cd[t.Orig[p]] = h.sq[0]
+			}
 		}
 	})
 	return cd

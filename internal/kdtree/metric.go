@@ -11,8 +11,14 @@ import (
 // (generalized) EMST and mutual-reachability HDBSCAN*. NodeLB/NodeUB bound
 // the metric over all point pairs drawn from two tree nodes; NodeLB must be
 // monotone non-decreasing under descent to children (box bounds are).
+//
+// Point indices are kd-order positions of the tree the metric is used
+// with, so instances must be built over the tree's reordered point set
+// (Tree.Pts) and kd-order core distances (Tree.CoreDist) — use the
+// NewEuclidean/NewPointDist/NewMutualReachability constructors.
 type Metric interface {
-	// Dist is the metric distance between points i and j.
+	// Dist is the metric distance between the points at kd-order
+	// positions i and j.
 	Dist(i, j int32) float64
 	// NodeLB lower-bounds Dist(p, q) for all p in a, q in b.
 	NodeLB(a, b *Node) float64
@@ -64,34 +70,89 @@ type MutualReachability struct {
 }
 
 // Dist returns the mutual reachability distance between points i and j.
+// On the Euclidean path the base distance is compared in squared space
+// first, so the sqrt is skipped whenever a core distance dominates.
 func (m MutualReachability) Dist(i, j int32) float64 {
-	var d float64
-	if m.M == nil {
-		d = m.Pts.Dist(int(i), int(j))
-	} else {
-		d = m.M.Dist(m.Pts.At(int(i)), m.Pts.At(int(j)))
+	c := m.CD[i]
+	if m.CD[j] > c {
+		c = m.CD[j]
 	}
-	return math.Max(d, math.Max(m.CD[i], m.CD[j]))
+	if m.M == nil {
+		sq := m.Pts.SqDist(int(i), int(j))
+		if sq <= c*c {
+			return c
+		}
+		if d := math.Sqrt(sq); d > c {
+			return d
+		}
+		return c
+	}
+	if d := m.M.Dist(m.Pts.At(int(i)), m.Pts.At(int(j))); d > c {
+		return d
+	}
+	return c
 }
 
 // NodeLB lower-bounds the mutual reachability distance between nodes.
 func (m MutualReachability) NodeLB(a, b *Node) float64 {
-	var d float64
-	if m.M == nil {
-		d = BoxDist(a, b)
-	} else {
-		d = m.M.BoxesLB(a.Box, b.Box)
+	c := a.CDMin
+	if b.CDMin > c {
+		c = b.CDMin
 	}
-	return math.Max(d, math.Max(a.CDMin, b.CDMin))
+	if m.M == nil {
+		sq := geometry.SqDistBoxes(a.Box, b.Box)
+		if sq <= c*c {
+			return c
+		}
+		if d := math.Sqrt(sq); d > c {
+			return d
+		}
+		return c
+	}
+	if d := m.M.BoxesLB(a.Box, b.Box); d > c {
+		return d
+	}
+	return c
 }
 
 // NodeUB upper-bounds the mutual reachability distance between nodes.
 func (m MutualReachability) NodeUB(a, b *Node) float64 {
-	var d float64
-	if m.M == nil {
-		d = BoxMaxDist(a, b)
-	} else {
-		d = m.M.BoxesUB(a.Box, b.Box)
+	c := a.CDMax
+	if b.CDMax > c {
+		c = b.CDMax
 	}
-	return math.Max(d, math.Max(a.CDMax, b.CDMax))
+	if m.M == nil {
+		sq := geometry.SqMaxDistBoxes(a.Box, b.Box)
+		if sq <= c*c {
+			return c
+		}
+		if d := math.Sqrt(sq); d > c {
+			return d
+		}
+		return c
+	}
+	if d := m.M.BoxesUB(a.Box, b.Box); d > c {
+		return d
+	}
+	return c
+}
+
+// NewEuclidean returns the Euclidean edge metric over t's kd-ordered
+// points.
+func NewEuclidean(t *Tree) Euclidean { return Euclidean{Pts: t.Pts} }
+
+// NewPointDist adapts t's metric kernel to the edge-weight interface over
+// the kd-ordered points.
+func NewPointDist(t *Tree) PointDist { return PointDist{Pts: t.Pts, M: t.M} }
+
+// NewMutualReachability returns the mutual reachability edge metric over
+// t's kd-ordered points and kd-order core distances. AnnotateCoreDists
+// must have been called; the base kernel is t's metric (nil means the
+// Euclidean fast paths).
+func NewMutualReachability(t *Tree) MutualReachability {
+	m := MutualReachability{Pts: t.Pts, CD: t.CoreDist}
+	if !t.l2 {
+		m.M = t.M
+	}
+	return m
 }

@@ -111,16 +111,16 @@ func TestBCCPMetricMatchesBruteForce(t *testing.T) {
 		tr := BuildMetric(pts, 1, m)
 		var em Metric
 		if metric.IsL2(m) {
-			em = Euclidean{Pts: pts}
+			em = NewEuclidean(tr)
 		} else {
-			em = PointDist{Pts: pts, M: m}
+			em = NewPointDist(tr)
 		}
-		a, b := tr.Root.Left, tr.Root.Right
+		a, b := tr.LeftOf(tr.Root), tr.RightOf(tr.Root)
 		got := BCCP(tr, em, a, b)
 		want := math.Inf(1)
 		for _, p := range tr.Points(a) {
 			for _, q := range tr.Points(b) {
-				if d := m.Dist(pts.At(int(p)), pts.At(int(q))); d < want {
+				if d := m.Dist(tr.Pts.At(int(p)), tr.Pts.At(int(q))); d < want {
 					want = d
 				}
 			}
@@ -128,7 +128,7 @@ func TestBCCPMetricMatchesBruteForce(t *testing.T) {
 		if math.Abs(got.W-want) > 1e-12*(1+want) {
 			t.Fatalf("%s: BCCP weight %v, brute force %v", m.Name(), got.W, want)
 		}
-		if d := m.Dist(pts.At(int(got.U)), pts.At(int(got.V))); math.Abs(d-got.W) > 1e-12*(1+got.W) {
+		if d := m.Dist(tr.Pts.At(int(got.U)), tr.Pts.At(int(got.V))); math.Abs(d-got.W) > 1e-12*(1+got.W) {
 			t.Fatalf("%s: BCCP pair (%d,%d) realizes %v, reported %v", m.Name(), got.U, got.V, d, got.W)
 		}
 	}

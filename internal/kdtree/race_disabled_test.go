@@ -1,0 +1,5 @@
+//go:build !race
+
+package kdtree
+
+const raceEnabled = false

@@ -2,26 +2,36 @@ package kdtree
 
 import "parclust/internal/geometry"
 
-// RangeQuery returns the indices of all points within tree-metric distance
-// r of point q (including q itself), in no particular order.
+// RangeQuery returns the original ids of all points within tree-metric
+// distance r of the point with original id q (including q itself), in no
+// particular order.
 func (t *Tree) RangeQuery(q int32, r float64) []int32 {
-	var out []int32
+	return t.RangeQueryAppend(q, r, nil)
+}
+
+// RangeQueryAppend is RangeQuery appending to out (which may be nil or a
+// reused buffer), so steady-state query streams allocate nothing once the
+// buffer has grown.
+func (t *Tree) RangeQueryAppend(q int32, r float64, out []int32) []int32 {
+	qc := t.Pts.At(int(t.Inv[q]))
 	if t.l2 {
-		t.rangeQuery(t.Root, t.Pts.At(int(q)), r*r, &out)
+		t.rangeQuery(t.Root, qc, r*r, &out)
 	} else {
-		t.rangeQueryMetric(t.Root, t.Pts.At(int(q)), r, &out)
+		t.rangeQueryMetric(t.Root, qc, r, &out)
 	}
 	return out
 }
 
 // RangeCount returns the number of points within tree-metric distance r of
-// point q (including q itself) without materializing them. Subtrees whose
-// bounding boxes lie entirely within the ball are counted wholesale.
+// the point with original id q (including q itself) without materializing
+// them. Subtrees whose bounding boxes lie entirely within the ball are
+// counted wholesale.
 func (t *Tree) RangeCount(q int32, r float64) int {
+	qc := t.Pts.At(int(t.Inv[q]))
 	if t.l2 {
-		return t.rangeCount(t.Root, t.Pts.At(int(q)), r*r)
+		return t.rangeCount(t.Root, qc, r*r)
 	}
-	return t.rangeCountMetric(t.Root, t.Pts.At(int(q)), r)
+	return t.rangeCountMetric(t.Root, qc, r)
 }
 
 func (t *Tree) rangeQuery(n *Node, qc []float64, r2 float64, out *[]int32) {
@@ -33,15 +43,18 @@ func (t *Tree) rangeQuery(n *Node, qc []float64, r2 float64, out *[]int32) {
 	}
 	if n.IsLeaf() {
 		kern := t.sqKern
-		for _, p := range t.Points(n) {
-			if kern(qc, t.Pts.At(int(p))) <= r2 {
-				*out = append(*out, p)
+		d := t.Pts.Dim
+		data := t.Pts.Data
+		for p := n.Lo; p < n.Hi; p++ {
+			r := int(p) * d
+			if kern(qc, data[r:r+d:r+d]) <= r2 {
+				*out = append(*out, t.Orig[p])
 			}
 		}
 		return
 	}
-	t.rangeQuery(n.Left, qc, r2, out)
-	t.rangeQuery(n.Right, qc, r2, out)
+	t.rangeQuery(t.LeftOf(n), qc, r2, out)
+	t.rangeQuery(t.RightOf(n), qc, r2, out)
 }
 
 func (t *Tree) rangeCount(n *Node, qc []float64, r2 float64) int {
@@ -56,15 +69,18 @@ func (t *Tree) rangeCount(n *Node, qc []float64, r2 float64) int {
 	}
 	if n.IsLeaf() {
 		kern := t.sqKern
+		d := t.Pts.Dim
+		data := t.Pts.Data
 		cnt := 0
-		for _, p := range t.Points(n) {
-			if kern(qc, t.Pts.At(int(p))) <= r2 {
+		for p := n.Lo; p < n.Hi; p++ {
+			r := int(p) * d
+			if kern(qc, data[r:r+d:r+d]) <= r2 {
 				cnt++
 			}
 		}
 		return cnt
 	}
-	return t.rangeCount(n.Left, qc, r2) + t.rangeCount(n.Right, qc, r2)
+	return t.rangeCount(t.LeftOf(n), qc, r2) + t.rangeCount(t.RightOf(n), qc, r2)
 }
 
 func (t *Tree) rangeQueryMetric(n *Node, qc []float64, r float64, out *[]int32) {
@@ -75,15 +91,18 @@ func (t *Tree) rangeQueryMetric(n *Node, qc []float64, r float64, out *[]int32) 
 		return
 	}
 	if n.IsLeaf() {
-		for _, p := range t.Points(n) {
-			if t.M.Dist(qc, t.Pts.At(int(p))) <= r {
-				*out = append(*out, p)
+		d := t.Pts.Dim
+		data := t.Pts.Data
+		for p := n.Lo; p < n.Hi; p++ {
+			ro := int(p) * d
+			if t.M.Dist(qc, data[ro:ro+d:ro+d]) <= r {
+				*out = append(*out, t.Orig[p])
 			}
 		}
 		return
 	}
-	t.rangeQueryMetric(n.Left, qc, r, out)
-	t.rangeQueryMetric(n.Right, qc, r, out)
+	t.rangeQueryMetric(t.LeftOf(n), qc, r, out)
+	t.rangeQueryMetric(t.RightOf(n), qc, r, out)
 }
 
 func (t *Tree) rangeCountMetric(n *Node, qc []float64, r float64) int {
@@ -97,15 +116,18 @@ func (t *Tree) rangeCountMetric(n *Node, qc []float64, r float64) int {
 		return n.Size() // whole subtree inside the ball
 	}
 	if n.IsLeaf() {
+		d := t.Pts.Dim
+		data := t.Pts.Data
 		cnt := 0
-		for _, p := range t.Points(n) {
-			if t.M.Dist(qc, t.Pts.At(int(p))) <= r {
+		for p := n.Lo; p < n.Hi; p++ {
+			ro := int(p) * d
+			if t.M.Dist(qc, data[ro:ro+d:ro+d]) <= r {
 				cnt++
 			}
 		}
 		return cnt
 	}
-	return t.rangeCountMetric(n.Left, qc, r) + t.rangeCountMetric(n.Right, qc, r)
+	return t.rangeCountMetric(t.LeftOf(n), qc, r) + t.rangeCountMetric(t.RightOf(n), qc, r)
 }
 
 func pointBox(qc []float64) geometry.Box {

@@ -2,11 +2,12 @@ package mst
 
 import (
 	"math"
+	"sync/atomic"
+	"time"
 
 	"parclust/internal/geometry"
 	"parclust/internal/kdtree"
 	"parclust/internal/parallel"
-	"parclust/internal/unionfind"
 )
 
 // Boruvka computes the MST under the tree's metric with Borůvka rounds
@@ -17,122 +18,223 @@ import (
 // Borůvka baseline (mlpack) that the paper's Table 3 compares against; run
 // with GOMAXPROCS=1 it is the sequential baseline, and it parallelizes
 // over points otherwise. The nearest-outside traversal is selected once
-// per run: Euclidean trees take the squared-distance path.
+// per run: Euclidean trees take the squared-distance path (candidate
+// weights stay squared until an edge is accepted — squaring is monotone,
+// so the selection and its tie-breaking are unchanged).
+//
+// All per-round state lives in a Workspace and the round bodies are
+// allocated once up front, so steady-state rounds perform zero heap
+// allocations (pinned by TestBoruvkaRoundAllocs). The returned edges carry
+// original input ids.
 func Boruvka(t *kdtree.Tree, stats *Stats) []Edge {
+	return BoruvkaWS(t, stats, NewWorkspace())
+}
+
+// BoruvkaWS is Boruvka running on a caller-owned reusable workspace.
+func BoruvkaWS(t *kdtree.Tree, stats *Stats, ws *Workspace) []Edge {
 	n := t.Pts.N
 	if n <= 1 {
 		return nil
 	}
-	uf := unionfind.New(n)
-	out := make([]Edge, 0, n-1)
-	cand := make([]Edge, n) // cand[i]: best outgoing edge found from point i
-	l2 := t.IsL2()
-	for uf.Components() > 1 {
-		stats.AddRound()
-		var comp []int32
-		stats.Time("refresh", func() {
-			comp = t.RefreshComponents(uf)
-		})
-		stats.Time("query", func() {
-			parallel.For(n, 32, func(i int) {
-				q := int32(i)
-				best := Edge{U: -1, V: -1, W: math.Inf(1)}
-				if l2 {
-					nearestOutside(t, t.Root, q, comp, &best)
-				} else {
-					nearestOutsideMetric(t, t.Root, q, comp, &best)
-				}
-				cand[i] = best
-			})
-		})
-		stats.Time("merge", func() {
-			// Reduce candidates to the lightest edge per component, then merge.
-			bestPer := make(map[int32]Edge, uf.Components())
-			for i := 0; i < n; i++ {
-				e := cand[i]
-				if e.U < 0 {
-					continue
-				}
-				c := comp[i]
-				if cur, ok := bestPer[c]; !ok || Less(e, cur) {
-					bestPer[c] = e
-				}
-			}
-			for _, e := range bestPer {
-				if uf.Union(e.U, e.V) {
-					out = append(out, e)
-				}
-			}
-		})
+	r := newBoruvkaRun(t, stats, ws)
+	for r.round() {
 	}
+	out := ws.finish(t.Orig)
 	parallel.Sort(out, Less)
 	return out
 }
 
-// nearestOutside finds the nearest point to q that lies in a different
-// component, writing the candidate edge into best.
-func nearestOutside(t *kdtree.Tree, nd *kdtree.Node, q int32, comp []int32, best *Edge) {
-	if nd.Comp >= 0 && nd.Comp == comp[q] {
+// boruvkaRun is one Borůvka execution: the reusable buffers plus the
+// pre-built parallel round bodies (built once so rounds don't allocate
+// closures).
+type boruvkaRun struct {
+	t     *kdtree.Tree
+	ws    *Workspace
+	stats *Stats
+	l2    bool
+
+	queryBody  func(lo, hi int)
+	reduceBody func(lo, hi int)
+}
+
+func newBoruvkaRun(t *kdtree.Tree, stats *Stats, ws *Workspace) *boruvkaRun {
+	n := t.Pts.N
+	ws.grow(n)
+	r := &boruvkaRun{t: t, ws: ws, stats: stats, l2: t.IsL2()}
+	dim := t.Pts.Dim
+	data := t.Pts.Data
+	r.queryBody = func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			q := int32(i)
+			best := Edge{U: -1, V: -1, W: math.Inf(1)}
+			qc := data[i*dim : (i+1)*dim : (i+1)*dim]
+			if r.l2 {
+				nearestOutside(t, t.Root, q, qc, ws.comp, &best)
+			} else {
+				nearestOutsideMetric(t, t.Root, q, qc, ws.comp, &best)
+			}
+			ws.cand[i] = best
+		}
+	}
+	r.reduceBody = func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := ws.cand[i]
+			if e.U < 0 {
+				continue
+			}
+			casMinEdge(ws.best, ws.cand, ws.comp[i], int32(i))
+		}
+	}
+	return r
+}
+
+// casMinEdge write-mins candidate index i into the dense slot of component
+// c: the slot converges to the Less-least edge regardless of interleaving,
+// keeping rounds deterministic under any schedule.
+func casMinEdge(best []int32, cand []Edge, c, i int32) {
+	slot := &best[c]
+	for {
+		cur := atomic.LoadInt32(slot)
+		if cur >= 0 && !Less(cand[i], cand[cur]) {
+			return
+		}
+		if atomic.CompareAndSwapInt32(slot, cur, i) {
+			return
+		}
+	}
+}
+
+// round runs one Borůvka round; it reports whether more rounds remain.
+func (r *boruvkaRun) round() bool {
+	ws := r.ws
+	if ws.uf.Components() <= 1 {
+		return false
+	}
+	r.stats.AddRound()
+	n := r.t.Pts.N
+	start := time.Now()
+	r.t.RefreshComponentsInto(ws.uf, ws.comp)
+	r.stats.AddPhase("refresh", time.Since(start))
+
+	start = time.Now()
+	parallel.ForRange(n, 32, r.queryBody)
+	r.stats.AddPhase("query", time.Since(start))
+
+	start = time.Now()
+	// Reduce candidates to the lightest edge per component, then merge.
+	parallel.ForRange(n, 512, r.reduceBody)
+	for c := 0; c < n; c++ {
+		bi := ws.best[c]
+		if bi < 0 {
+			continue
+		}
+		ws.best[c] = -1
+		e := ws.cand[bi]
+		if ws.uf.Union(e.U, e.V) {
+			if r.l2 {
+				e.W = math.Sqrt(e.W)
+			}
+			ws.out = append(ws.out, e)
+		}
+	}
+	r.stats.AddPhase("merge", time.Since(start))
+	return true
+}
+
+// nearestOutside finds the nearest point to q (a kd-order position) that
+// lies in a different component, writing the candidate edge into best with
+// its weight in squared space. Ties follow the Less order (squaring is
+// monotone, so the squared-space comparison picks the same edge).
+func nearestOutside(t *kdtree.Tree, nd *kdtree.Node, q int32, qc []float64, comp []int32, best *Edge) {
+	cq := comp[q]
+	if nd.Comp >= 0 && nd.Comp == cq {
 		return // subtree entirely in q's component
 	}
-	qc := t.Pts.At(int(q))
-	if geometry.SqDistPointBox(qc, nd.Box) >= best.W*best.W {
+	// Prune only once a candidate exists: with no candidate yet, best.W is
+	// +Inf and a box at overflowed (+Inf) squared distance must still be
+	// descended, or a round could record nothing and never merge.
+	if best.U >= 0 && geometry.SqDistPointBox(qc, nd.Box) >= best.W {
 		return
 	}
 	if nd.IsLeaf() {
-		for _, p := range t.Points(nd) {
-			if comp[p] == comp[q] {
+		kern := t.SqKern()
+		dim := t.Pts.Dim
+		data := t.Pts.Data
+		for p := nd.Lo; p < nd.Hi; p++ {
+			if comp[p] == cq {
 				continue
 			}
-			d := t.Pts.Dist(int(q), int(p))
-			e := MakeEdge(q, p, d)
-			if best.U < 0 || Less(e, *best) {
-				*best = e
+			row := int(p) * dim
+			d := kern(qc, data[row:row+dim:row+dim])
+			if d > best.W {
+				continue
+			}
+			u, v := q, p
+			if u > v {
+				u, v = v, u
+			}
+			// best.U < 0 accepts the first candidate even at d == +Inf
+			// (squared-distance overflow on huge finite coordinates);
+			// without it the round would record nothing and never merge.
+			if best.U < 0 || d < best.W || u < best.U || (u == best.U && v < best.V) {
+				*best = Edge{U: u, V: v, W: d}
 			}
 		}
 		return
 	}
-	dl := geometry.SqDistPointBox(qc, nd.Left.Box)
-	dr := geometry.SqDistPointBox(qc, nd.Right.Box)
+	left, right := t.LeftOf(nd), t.RightOf(nd)
+	dl := geometry.SqDistPointBox(qc, left.Box)
+	dr := geometry.SqDistPointBox(qc, right.Box)
 	if dl <= dr {
-		nearestOutside(t, nd.Left, q, comp, best)
-		nearestOutside(t, nd.Right, q, comp, best)
+		nearestOutside(t, left, q, qc, comp, best)
+		nearestOutside(t, right, q, qc, comp, best)
 	} else {
-		nearestOutside(t, nd.Right, q, comp, best)
-		nearestOutside(t, nd.Left, q, comp, best)
+		nearestOutside(t, right, q, qc, comp, best)
+		nearestOutside(t, left, q, qc, comp, best)
 	}
 }
 
 // nearestOutsideMetric is nearestOutside under the tree's metric kernel,
-// pruning with the kernel's point-box lower bound.
-func nearestOutsideMetric(t *kdtree.Tree, nd *kdtree.Node, q int32, comp []int32, best *Edge) {
-	if nd.Comp >= 0 && nd.Comp == comp[q] {
+// pruning with the kernel's point-box lower bound; weights are true
+// tree-metric distances.
+func nearestOutsideMetric(t *kdtree.Tree, nd *kdtree.Node, q int32, qc []float64, comp []int32, best *Edge) {
+	cq := comp[q]
+	if nd.Comp >= 0 && nd.Comp == cq {
 		return // subtree entirely in q's component
 	}
-	qc := t.Pts.At(int(q))
-	if t.M.PointBoxLB(qc, nd.Box) >= best.W {
+	if best.U >= 0 && t.M.PointBoxLB(qc, nd.Box) >= best.W {
 		return
 	}
 	if nd.IsLeaf() {
-		for _, p := range t.Points(nd) {
-			if comp[p] == comp[q] {
+		dim := t.Pts.Dim
+		data := t.Pts.Data
+		for p := nd.Lo; p < nd.Hi; p++ {
+			if comp[p] == cq {
 				continue
 			}
-			d := t.M.Dist(qc, t.Pts.At(int(p)))
-			e := MakeEdge(q, p, d)
-			if best.U < 0 || Less(e, *best) {
-				*best = e
+			row := int(p) * dim
+			d := t.M.Dist(qc, data[row:row+dim:row+dim])
+			if d > best.W {
+				continue
+			}
+			u, v := q, p
+			if u > v {
+				u, v = v, u
+			}
+			if best.U < 0 || d < best.W || u < best.U || (u == best.U && v < best.V) {
+				*best = Edge{U: u, V: v, W: d}
 			}
 		}
 		return
 	}
-	dl := t.M.PointBoxLB(qc, nd.Left.Box)
-	dr := t.M.PointBoxLB(qc, nd.Right.Box)
+	left, right := t.LeftOf(nd), t.RightOf(nd)
+	dl := t.M.PointBoxLB(qc, left.Box)
+	dr := t.M.PointBoxLB(qc, right.Box)
 	if dl <= dr {
-		nearestOutsideMetric(t, nd.Left, q, comp, best)
-		nearestOutsideMetric(t, nd.Right, q, comp, best)
+		nearestOutsideMetric(t, left, q, qc, comp, best)
+		nearestOutsideMetric(t, right, q, qc, comp, best)
 	} else {
-		nearestOutsideMetric(t, nd.Right, q, comp, best)
-		nearestOutsideMetric(t, nd.Left, q, comp, best)
+		nearestOutsideMetric(t, right, q, qc, comp, best)
+		nearestOutsideMetric(t, left, q, qc, comp, best)
 	}
 }

@@ -3,10 +3,10 @@ package mst
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"parclust/internal/kdtree"
 	"parclust/internal/parallel"
-	"parclust/internal/unionfind"
 	"parclust/internal/wspd"
 )
 
@@ -15,7 +15,10 @@ import (
 // internal invariant is broken.
 const maxRounds = 200
 
-// gfkPair is a WSPD pair with its lazily computed, cached BCCP.
+// gfkPair is a WSPD pair with its lazily computed, cached BCCP. Pairs are
+// stored by value in flat slices (no per-pair heap allocation); rounds
+// shuffle them between the workspace's two buffers with stable in-place
+// partitions.
 type gfkPair struct {
 	a, b *kdtree.Node
 	res  kdtree.BCCPResult // res.U < 0 when not yet computed
@@ -30,6 +33,10 @@ func connected(a, b *kdtree.Node) bool { return a.Comp >= 0 && a.Comp == b.Comp 
 // cardinality at most beta whose BCCP is no heavier than the lightest
 // possible edge of the remaining pairs are resolved with Kruskal; pairs
 // whose endpoints become connected are filtered out; beta doubles.
+// Steady-state rounds reuse the workspace buffers; the only per-round
+// allocations are the small constant from the sort and reduction
+// scaffolding (pinned by TestGFKRoundAllocs). Returned edges carry
+// original ids in Kruskal acceptance order.
 func GFK(cfg Config) []Edge {
 	t := cfg.Tree
 	n := t.Pts.N
@@ -42,62 +49,128 @@ func GFK(cfg Config) []Edge {
 	})
 	cfg.Stats.AddPairs(int64(len(raw)))
 	cfg.Stats.NotePeak(int64(len(raw)))
-	s := make([]*gfkPair, len(raw))
+
+	ws := cfg.WS
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.grow(n)
+	ws.growPairs(len(raw))
+	s := ws.pairs
 	parallel.For(len(raw), 0, func(i int) {
-		s[i] = &gfkPair{a: raw[i].A, b: raw[i].B, res: kdtree.BCCPResult{U: -1, V: -1, W: math.NaN()}}
+		s[i] = gfkPair{a: raw[i].A, b: raw[i].B, res: kdtree.BCCPResult{U: -1, V: -1, W: math.NaN()}}
 	})
 
-	uf := unionfind.New(n)
-	out := make([]Edge, 0, n-1)
+	r := newGFKRun(cfg, ws, s)
 	beta := 2
-	for round := 0; len(out) < n-1; round++ {
+	for round := 0; len(ws.out) < n-1; round++ {
 		if round >= roundCap(cfg, n) {
-			panic(fmt.Sprintf("mst: GFK exceeded %d rounds (n=%d, |S|=%d, |out|=%d)", maxRounds, n, len(s), len(out)))
+			panic(fmt.Sprintf("mst: GFK exceeded %d rounds (n=%d, |S|=%d, |out|=%d)", maxRounds, n, len(r.s), len(ws.out)))
 		}
-		cfg.Stats.AddRound()
-
-		// Line 4: partition by cardinality.
-		sl, su := parallel.Split(s, func(p *gfkPair) bool { return p.card() <= beta })
-
-		// Line 5: rho_hi lower-bounds every edge the large pairs can produce.
-		rhoHi := math.Inf(1)
-		if len(su) > 0 {
-			_, rhoHi = parallel.ReduceMin(len(su), 0, func(i int) float64 {
-				return cfg.Metric.NodeLB(su[i].a, su[i].b)
-			})
-		}
-
-		// Line 6: compute (and cache) BCCPs of the small pairs, then keep
-		// those no heavier than rho_hi.
-		cfg.Stats.Time("bccp", func() {
-			parallel.For(len(sl), 4, func(i int) {
-				if sl[i].res.U < 0 {
-					sl[i].res = kdtree.BCCP(t, cfg.Metric, sl[i].a, sl[i].b)
-					cfg.Stats.AddBCCP(1)
-				}
-			})
-		})
-		sl1, sl2 := parallel.Split(sl, func(p *gfkPair) bool { return p.res.W <= rhoHi })
-
-		// Lines 7-8: Kruskal on the batch.
-		batch := make([]Edge, len(sl1))
-		parallel.For(len(sl1), 0, func(i int) {
-			batch[i] = MakeEdge(sl1[i].res.U, sl1[i].res.V, sl1[i].res.W)
-		})
-		cfg.Stats.Time("kruskal", func() {
-			out = KruskalBatch(batch, uf, out)
-		})
-
-		// Line 9: drop pairs whose sides are now in one component.
-		t.RefreshComponents(uf)
-		rest := append(sl2, su...)
-		s = parallel.Filter(rest, func(p *gfkPair) bool { return !connected(p.a, p.b) })
-		cfg.Stats.NotePeak(int64(len(s)))
-
-		if len(s) == 0 && len(out) < n-1 {
+		r.round(beta)
+		if len(r.s) == 0 && len(ws.out) < n-1 {
 			panic("mst: GFK ran out of pairs before completing the MST")
 		}
 		beta = nextBeta(cfg, beta)
 	}
-	return out
+	return ws.finish(t.Orig)
+}
+
+// gfkRun is one GFK execution over the workspace's ping-pong pair buffers.
+type gfkRun struct {
+	cfg Config
+	ws  *Workspace
+	s   []gfkPair // surviving pairs, prefix of ws.pairs
+	su  []gfkPair // large-cardinality side of the current split (ws.scratch)
+
+	bccpBody func(lo, hi int)
+	rhoBody  func(i int) float64
+}
+
+func newGFKRun(cfg Config, ws *Workspace, s []gfkPair) *gfkRun {
+	r := &gfkRun{cfg: cfg, ws: ws, s: s}
+	r.bccpBody = func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if r.s[i].res.U < 0 {
+				r.s[i].res = kdtree.BCCP(cfg.Tree, cfg.Metric, r.s[i].a, r.s[i].b)
+				cfg.Stats.AddBCCP(1)
+			}
+		}
+	}
+	r.rhoBody = func(i int) float64 {
+		return cfg.Metric.NodeLB(r.su[i].a, r.su[i].b)
+	}
+	return r
+}
+
+func (r *gfkRun) round(beta int) {
+	cfg, ws := r.cfg, r.ws
+	cfg.Stats.AddRound()
+
+	// Line 4: stable partition by cardinality — small pairs stay in the
+	// main buffer, large pairs move to the scratch buffer.
+	wsm, wsc := 0, 0
+	for i := range r.s {
+		if r.s[i].card() <= beta {
+			r.s[wsm] = r.s[i]
+			wsm++
+		} else {
+			ws.scratch[wsc] = r.s[i]
+			wsc++
+		}
+	}
+	sl := r.s[:wsm]
+	r.su = ws.scratch[:wsc]
+
+	// Line 5: rho_hi lower-bounds every edge the large pairs can produce.
+	rhoHi := math.Inf(1)
+	if len(r.su) > 0 {
+		_, rhoHi = parallel.ReduceMin(len(r.su), 0, r.rhoBody)
+	}
+
+	// Line 6: compute (and cache) BCCPs of the small pairs, then feed the
+	// edges of those no heavier than rho_hi to Kruskal, compacting the
+	// heavier remainder (S_l2) in place.
+	r.s = sl // bccpBody indexes r.s
+	start := time.Now()
+	parallel.ForRange(len(sl), 4, r.bccpBody)
+	cfg.Stats.AddPhase("bccp", time.Since(start))
+
+	batch := ws.batch[:0]
+	keep := 0
+	for i := range sl {
+		if sl[i].res.W <= rhoHi {
+			batch = append(batch, MakeEdge(sl[i].res.U, sl[i].res.V, sl[i].res.W))
+		} else {
+			sl[keep] = sl[i]
+			keep++
+		}
+	}
+	ws.batch = batch
+	sl2 := sl[:keep]
+
+	// Lines 7-8: Kruskal on the batch.
+	start = time.Now()
+	ws.out = KruskalBatch(batch, ws.uf, ws.out)
+	cfg.Stats.AddPhase("kruskal", time.Since(start))
+
+	// Line 9: drop pairs whose sides are now in one component. The
+	// survivors of S_l2 and S_u are compacted back into the main buffer.
+	cfg.Tree.RefreshComponentsInto(ws.uf, ws.comp)
+	w := 0
+	main := ws.pairs
+	for i := range sl2 {
+		if !connected(sl2[i].a, sl2[i].b) {
+			main[w] = sl2[i]
+			w++
+		}
+	}
+	for i := range r.su {
+		if !connected(r.su[i].a, r.su[i].b) {
+			main[w] = r.su[i]
+			w++
+		}
+	}
+	r.s = main[:w]
+	cfg.Stats.NotePeak(int64(w))
 }

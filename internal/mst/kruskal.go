@@ -21,8 +21,12 @@ func KruskalBatch(edges []Edge, uf *unionfind.UF, out []Edge) []Edge {
 }
 
 // Kruskal computes an MST (or spanning forest) of the given edge list over
-// n vertices, returning the accepted edges in weight order.
+// n vertices, returning the accepted edges in weight order. The input
+// slice is sorted in place — every caller in this module owns its edge
+// list (Naive and ApproxOPTICS build theirs immediately beforehand), so
+// the old defensive full-slice copy was pure overhead; callers that need
+// the original order must copy before calling.
 func Kruskal(n int, edges []Edge) []Edge {
 	uf := unionfind.New(n)
-	return KruskalBatch(append([]Edge(nil), edges...), uf, make([]Edge, 0, n-1))
+	return KruskalBatch(edges, uf, make([]Edge, 0, n-1))
 }

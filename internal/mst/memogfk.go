@@ -6,7 +6,6 @@ import (
 
 	"parclust/internal/kdtree"
 	"parclust/internal/parallel"
-	"parclust/internal/unionfind"
 )
 
 // MemoGFK is the memory-optimized parallel GeoFilterKruskal (Algorithm 3).
@@ -14,51 +13,69 @@ import (
 // traversals: GetRho computes the weight ceiling rho_hi for the round (the
 // minimum node-pair lower bound over not-yet-connected well-separated pairs
 // with cardinality above beta), and GetPairs retrieves only the pairs whose
-// BCCP lands in [rho_lo, rho_hi), feeding their edges to Kruskal.
+// BCCP lands in [rho_lo, rho_hi), feeding their edges to Kruskal. The
+// union-find and component labels live in the reusable workspace; the
+// retrieved batches are the only per-round allocations. Returned edges
+// carry original ids in Kruskal acceptance order.
 func MemoGFK(cfg Config) []Edge {
 	t := cfg.Tree
 	n := t.Pts.N
 	if n <= 1 {
 		return nil
 	}
-	uf := unionfind.New(n)
-	out := make([]Edge, 0, n-1)
+	ws := cfg.WS
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.grow(n)
+	// The two L2-backed metrics take monomorphized traversals with every
+	// bound (and the rho_lo/rho_hi window) in squared space; squaring is
+	// monotone, so the round structure and retrieved pairs are identical.
+	sq := sqConfigFor(cfg)
 	beta := 2
 	rhoLo := 0.0
-	for round := 0; len(out) < n-1; round++ {
+	for round := 0; len(ws.out) < n-1; round++ {
 		if round >= roundCap(cfg, n) {
-			panic(fmt.Sprintf("mst: MemoGFK exceeded %d rounds (n=%d, |out|=%d)", maxRounds, n, len(out)))
+			panic(fmt.Sprintf("mst: MemoGFK exceeded %d rounds (n=%d, |out|=%d)", maxRounds, n, len(ws.out)))
 		}
 		cfg.Stats.AddRound()
-		t.RefreshComponents(uf)
+		t.RefreshComponentsInto(ws.uf, ws.comp)
 
 		// Line 4: rho_hi via the first pruned traversal.
 		var rhoHi float64
 		cfg.Stats.Time("wspd", func() {
-			rhoHi = getRho(cfg, t.Root, beta)
+			if sq != nil {
+				rhoHi = getRhoSq(sq, t.Root, beta)
+			} else {
+				rhoHi = getRho(cfg, t.Root, beta)
+			}
 		})
 
 		if rhoHi > rhoLo {
 			// Line 5: retrieve only pairs with BCCP in [rho_lo, rho_hi).
 			var batch []Edge
 			cfg.Stats.Time("wspd", func() {
-				batch = getPairsNode(cfg, t.Root, beta, rhoLo, rhoHi)
+				if sq != nil {
+					batch = getPairsNodeSq(sq, t.Root, beta, rhoLo, rhoHi)
+				} else {
+					batch = getPairsNode(cfg, t.Root, beta, rhoLo, rhoHi)
+				}
 			})
 			cfg.Stats.AddPairs(int64(len(batch)))
 			cfg.Stats.NotePeak(int64(len(batch)))
 			// Lines 6-7.
 			cfg.Stats.Time("kruskal", func() {
-				out = KruskalBatch(batch, uf, out)
+				ws.out = KruskalBatch(batch, ws.uf, ws.out)
 			})
 			if !math.IsInf(rhoHi, 1) {
 				rhoLo = rhoHi
-			} else if len(batch) == 0 && len(out) < n-1 {
+			} else if len(batch) == 0 && len(ws.out) < n-1 {
 				panic("mst: MemoGFK stalled with an incomplete MST")
 			}
 		}
 		beta = nextBeta(cfg, beta)
 	}
-	return out
+	return ws.finish(t.Orig)
 }
 
 // getRho traverses the implicit WSPD and returns the minimum metric lower
@@ -80,19 +97,20 @@ func getRhoNode(cfg Config, a *kdtree.Node, beta int, rho *parallel.AtomicMinFlo
 	if a.Size() <= beta { // every descendant pair has cardinality <= beta
 		return
 	}
+	al, ar := cfg.Tree.LeftOf(a), cfg.Tree.RightOf(a)
 	if a.Size() > spawnSize {
 		// Subtree traversals become stealable tasks; the split pair stays
 		// on the current worker (work-first).
 		var g parallel.Group
-		g.Spawn(func() { getRhoNode(cfg, a.Left, beta, rho) })
-		g.Spawn(func() { getRhoNode(cfg, a.Right, beta, rho) })
-		g.Run(func() { getRhoPair(cfg, a.Left, a.Right, beta, rho) })
+		g.Spawn(func() { getRhoNode(cfg, al, beta, rho) })
+		g.Spawn(func() { getRhoNode(cfg, ar, beta, rho) })
+		g.Run(func() { getRhoPair(cfg, al, ar, beta, rho) })
 		g.Sync()
 		return
 	}
-	getRhoNode(cfg, a.Left, beta, rho)
-	getRhoNode(cfg, a.Right, beta, rho)
-	getRhoPair(cfg, a.Left, a.Right, beta, rho)
+	getRhoNode(cfg, al, beta, rho)
+	getRhoNode(cfg, ar, beta, rho)
+	getRhoPair(cfg, al, ar, beta, rho)
 }
 
 func getRhoPair(cfg Config, p, q *kdtree.Node, beta int, rho *parallel.AtomicMinFloat64) {
@@ -116,15 +134,16 @@ func getRhoPair(cfg Config, p, q *kdtree.Node, beta int, rho *parallel.AtomicMin
 	if p.IsLeaf() {
 		p, q = q, p
 	}
+	pl, pr := cfg.Tree.LeftOf(p), cfg.Tree.RightOf(p)
 	if p.Size()+q.Size() > spawnSize {
 		parallel.Do(
-			func() { getRhoPair(cfg, p.Left, q, beta, rho) },
-			func() { getRhoPair(cfg, p.Right, q, beta, rho) },
+			func() { getRhoPair(cfg, pl, q, beta, rho) },
+			func() { getRhoPair(cfg, pr, q, beta, rho) },
 		)
 		return
 	}
-	getRhoPair(cfg, p.Left, q, beta, rho)
-	getRhoPair(cfg, p.Right, q, beta, rho)
+	getRhoPair(cfg, pl, q, beta, rho)
+	getRhoPair(cfg, pr, q, beta, rho)
 }
 
 // getPairsNode retrieves the edges of well-separated pairs whose BCCP falls
@@ -134,23 +153,29 @@ func getPairsNode(cfg Config, a *kdtree.Node, beta int, rhoLo, rhoHi float64) []
 	if a.IsLeaf() || a.Size() <= 1 || a.Comp >= 0 {
 		return nil
 	}
+	al, ar := cfg.Tree.LeftOf(a), cfg.Tree.RightOf(a)
 	var left, right, mid []Edge
 	if a.Size() > spawnSize {
 		var g parallel.Group
-		g.Spawn(func() { left = getPairsNode(cfg, a.Left, beta, rhoLo, rhoHi) })
-		g.Spawn(func() { right = getPairsNode(cfg, a.Right, beta, rhoLo, rhoHi) })
-		g.Run(func() { mid = getPairsPair(cfg, a.Left, a.Right, beta, rhoLo, rhoHi) })
+		g.Spawn(func() { left = getPairsNode(cfg, al, beta, rhoLo, rhoHi) })
+		g.Spawn(func() { right = getPairsNode(cfg, ar, beta, rhoLo, rhoHi) })
+		g.Run(func() { mid = getPairsPair(cfg, al, ar, beta, rhoLo, rhoHi) })
 		g.Sync()
 	} else {
-		left = getPairsNode(cfg, a.Left, beta, rhoLo, rhoHi)
-		right = getPairsNode(cfg, a.Right, beta, rhoLo, rhoHi)
-		mid = getPairsPair(cfg, a.Left, a.Right, beta, rhoLo, rhoHi)
+		left = getPairsNode(cfg, al, beta, rhoLo, rhoHi)
+		right = getPairsNode(cfg, ar, beta, rhoLo, rhoHi)
+		mid = getPairsPair(cfg, al, ar, beta, rhoLo, rhoHi)
 	}
-	out := make([]Edge, 0, len(left)+len(right)+len(mid))
-	out = append(out, left...)
-	out = append(out, right...)
-	out = append(out, mid...)
-	return out
+	// left is exclusively owned by this call, so extend it in place rather
+	// than copying all three slices into a fresh buffer.
+	if len(left) == 0 {
+		if len(right) == 0 {
+			return mid
+		}
+		return append(right, mid...)
+	}
+	out := append(left, right...)
+	return append(out, mid...)
 }
 
 func getPairsPair(cfg Config, p, q *kdtree.Node, beta int, rhoLo, rhoHi float64) []Edge {
@@ -177,15 +202,16 @@ func getPairsPair(cfg Config, p, q *kdtree.Node, beta int, rhoLo, rhoHi float64)
 	if p.IsLeaf() {
 		p, q = q, p
 	}
+	pl, pr := cfg.Tree.LeftOf(p), cfg.Tree.RightOf(p)
 	var l, r []Edge
 	if p.Size()+q.Size() > spawnSize {
 		parallel.Do(
-			func() { l = getPairsPair(cfg, p.Left, q, beta, rhoLo, rhoHi) },
-			func() { r = getPairsPair(cfg, p.Right, q, beta, rhoLo, rhoHi) },
+			func() { l = getPairsPair(cfg, pl, q, beta, rhoLo, rhoHi) },
+			func() { r = getPairsPair(cfg, pr, q, beta, rhoLo, rhoHi) },
 		)
 	} else {
-		l = getPairsPair(cfg, p.Left, q, beta, rhoLo, rhoHi)
-		r = getPairsPair(cfg, p.Right, q, beta, rhoLo, rhoHi)
+		l = getPairsPair(cfg, pl, q, beta, rhoLo, rhoHi)
+		r = getPairsPair(cfg, pr, q, beta, rhoLo, rhoHi)
 	}
 	return append(l, r...)
 }

@@ -1,0 +1,188 @@
+package mst
+
+import (
+	"math"
+
+	"parclust/internal/geometry"
+	"parclust/internal/kdtree"
+	"parclust/internal/parallel"
+	"parclust/internal/wspd"
+)
+
+// Monomorphized squared-space MemoGFK traversals for the two L2-backed
+// edge metrics (plain Euclidean, and mutual reachability over Euclidean).
+// The generic traversals in memogfk.go pay an interface dispatch plus a
+// sqrt per node-pair bound; here every bound is a direct, inlinable
+// squared-space computation, and rho_lo/rho_hi live in squared space for
+// the whole run (squaring is monotone, so round structure and the
+// retrieved pair sets are unchanged). True metric weights are evaluated
+// once per emitted edge.
+
+// sqCfg is the state of a squared-space MemoGFK run.
+type sqCfg struct {
+	t     *kdtree.Tree
+	cd    []float64 // kd-order core distances; nil for plain Euclidean
+	m     kdtree.Metric
+	sep   wspd.Separation
+	stats *Stats
+}
+
+// sqConfigFor returns the squared-space state when cfg's metric is one of
+// the two L2-backed kernels, or nil to run the generic traversals.
+func sqConfigFor(cfg Config) *sqCfg {
+	switch m := cfg.Metric.(type) {
+	case kdtree.Euclidean:
+		return &sqCfg{t: cfg.Tree, m: cfg.Metric, sep: cfg.Sep, stats: cfg.Stats}
+	case kdtree.MutualReachability:
+		if m.M == nil {
+			return &sqCfg{t: cfg.Tree, cd: m.CD, m: cfg.Metric, sep: cfg.Sep, stats: cfg.Stats}
+		}
+	}
+	return nil
+}
+
+func (c *sqCfg) lb2(a, b *kdtree.Node) float64 {
+	if c.cd == nil {
+		return geometry.SqDistBoxes(a.Box, b.Box)
+	}
+	return kdtree.SqMutNodeLB(a, b)
+}
+
+func (c *sqCfg) ub2(a, b *kdtree.Node) float64 {
+	if c.cd == nil {
+		return geometry.SqMaxDistBoxes(a.Box, b.Box)
+	}
+	return kdtree.SqMutNodeUB(a, b)
+}
+
+// getRhoSq is getRho with all bounds in squared space.
+func getRhoSq(c *sqCfg, root *kdtree.Node, beta int) float64 {
+	rho := parallel.NewAtomicMinFloat64(math.Inf(1))
+	getRhoNodeSq(c, root, beta, rho)
+	return rho.Load()
+}
+
+func getRhoNodeSq(c *sqCfg, a *kdtree.Node, beta int, rho *parallel.AtomicMinFloat64) {
+	if a.IsLeaf() || a.Size() <= 1 {
+		return
+	}
+	if a.Comp >= 0 {
+		return
+	}
+	if a.Size() <= beta {
+		return
+	}
+	al, ar := c.t.LeftOf(a), c.t.RightOf(a)
+	if a.Size() > spawnSize {
+		var g parallel.Group
+		g.Spawn(func() { getRhoNodeSq(c, al, beta, rho) })
+		g.Spawn(func() { getRhoNodeSq(c, ar, beta, rho) })
+		g.Run(func() { getRhoPairSq(c, al, ar, beta, rho) })
+		g.Sync()
+		return
+	}
+	getRhoNodeSq(c, al, beta, rho)
+	getRhoNodeSq(c, ar, beta, rho)
+	getRhoPairSq(c, al, ar, beta, rho)
+}
+
+func getRhoPairSq(c *sqCfg, p, q *kdtree.Node, beta int, rho *parallel.AtomicMinFloat64) {
+	if connected(p, q) {
+		return
+	}
+	if p.Size()+q.Size() <= beta {
+		return
+	}
+	lb := c.lb2(p, q)
+	if lb >= rho.Load() {
+		return
+	}
+	if p.Radius < q.Radius {
+		p, q = q, p
+	}
+	if c.sep.WellSeparated(p, q) {
+		rho.Min(lb)
+		return
+	}
+	if p.IsLeaf() {
+		p, q = q, p
+	}
+	pl, pr := c.t.LeftOf(p), c.t.RightOf(p)
+	if p.Size()+q.Size() > spawnSize {
+		parallel.Do(
+			func() { getRhoPairSq(c, pl, q, beta, rho) },
+			func() { getRhoPairSq(c, pr, q, beta, rho) },
+		)
+		return
+	}
+	getRhoPairSq(c, pl, q, beta, rho)
+	getRhoPairSq(c, pr, q, beta, rho)
+}
+
+// getPairsNodeSq is getPairsNode with bounds and the [rhoLo2, rhoHi2)
+// window in squared space; emitted edges carry true metric weights.
+func getPairsNodeSq(c *sqCfg, a *kdtree.Node, beta int, rhoLo2, rhoHi2 float64) []Edge {
+	if a.IsLeaf() || a.Size() <= 1 || a.Comp >= 0 {
+		return nil
+	}
+	al, ar := c.t.LeftOf(a), c.t.RightOf(a)
+	var left, right, mid []Edge
+	if a.Size() > spawnSize {
+		var g parallel.Group
+		g.Spawn(func() { left = getPairsNodeSq(c, al, beta, rhoLo2, rhoHi2) })
+		g.Spawn(func() { right = getPairsNodeSq(c, ar, beta, rhoLo2, rhoHi2) })
+		g.Run(func() { mid = getPairsPairSq(c, al, ar, beta, rhoLo2, rhoHi2) })
+		g.Sync()
+	} else {
+		left = getPairsNodeSq(c, al, beta, rhoLo2, rhoHi2)
+		right = getPairsNodeSq(c, ar, beta, rhoLo2, rhoHi2)
+		mid = getPairsPairSq(c, al, ar, beta, rhoLo2, rhoHi2)
+	}
+	if len(left) == 0 {
+		if len(right) == 0 {
+			return mid
+		}
+		return append(right, mid...)
+	}
+	out := append(left, right...)
+	return append(out, mid...)
+}
+
+func getPairsPairSq(c *sqCfg, p, q *kdtree.Node, beta int, rhoLo2, rhoHi2 float64) []Edge {
+	if connected(p, q) {
+		return nil
+	}
+	if c.lb2(p, q) >= rhoHi2 {
+		return nil
+	}
+	if c.ub2(p, q) < rhoLo2 {
+		return nil
+	}
+	if p.Radius < q.Radius {
+		p, q = q, p
+	}
+	if c.sep.WellSeparated(p, q) {
+		res := kdtree.BCCPSq(c.t, c.cd, p, q)
+		c.stats.AddBCCP(1)
+		if res.W >= rhoLo2 && res.W < rhoHi2 {
+			// One true-metric evaluation per emitted edge.
+			return []Edge{MakeEdge(res.U, res.V, c.m.Dist(res.U, res.V))}
+		}
+		return nil
+	}
+	if p.IsLeaf() {
+		p, q = q, p
+	}
+	pl, pr := c.t.LeftOf(p), c.t.RightOf(p)
+	var l, r []Edge
+	if p.Size()+q.Size() > spawnSize {
+		parallel.Do(
+			func() { l = getPairsPairSq(c, pl, q, beta, rhoLo2, rhoHi2) },
+			func() { r = getPairsPairSq(c, pr, q, beta, rhoLo2, rhoHi2) },
+		)
+	} else {
+		l = getPairsPairSq(c, pl, q, beta, rhoLo2, rhoHi2)
+		r = getPairsPairSq(c, pr, q, beta, rhoLo2, rhoHi2)
+	}
+	return append(l, r...)
+}

@@ -23,7 +23,7 @@ func randPoints(n, dim int, seed int64) geometry.Points {
 
 func euclidConfig(pts geometry.Points) Config {
 	t := kdtree.Build(pts, 1)
-	return Config{Tree: t, Metric: kdtree.Euclidean{Pts: pts}, Sep: wspd.Geometric{S: 2}, Stats: NewStats()}
+	return Config{Tree: t, Metric: kdtree.NewEuclidean(t), Sep: wspd.Geometric{S: 2}, Stats: NewStats()}
 }
 
 // checkSpanningTree validates tree invariants: n-1 edges, connected, acyclic.
@@ -151,7 +151,9 @@ func TestMutualReachabilityMST(t *testing.T) {
 		tr := kdtree.Build(pts, 1)
 		cd := tr.CoreDistances(minPts)
 		tr.AnnotateCoreDists(cd)
-		metric := kdtree.MutualReachability{Pts: pts, CD: cd}
+		metric := kdtree.NewMutualReachability(tr)
+		// The edge metric runs in kd-order space; any bijective relabeling
+		// leaves the MST weight unchanged, so Prim can run there too.
 		dist := func(i, j int32) float64 { return metric.Dist(i, j) }
 		want := TotalWeight(PrimDense(pts.N, dist))
 		for name, sep := range map[string]wspd.Separation{
@@ -181,6 +183,22 @@ func TestDuplicatePointsMST(t *testing.T) {
 		if math.Abs(TotalWeight(got)-want) > 1e-9 {
 			t.Fatalf("duplicate points: weight %v, want %v", TotalWeight(got), want)
 		}
+	}
+}
+
+// TestBoruvkaHugeCoordinates pins termination when squared distances
+// overflow to +Inf on finite coordinates: the first candidate must still
+// be recorded (best.U < 0 acceptance) so rounds keep merging, and the
+// result is a spanning tree with +Inf cross-cluster edges.
+func TestBoruvkaHugeCoordinates(t *testing.T) {
+	pts := geometry.FromSlices([][]float64{
+		{-1e160, 0}, {-1e160, 1}, {1e160, 0}, {1e160, 1},
+	})
+	tr := kdtree.Build(pts, 1)
+	got := Boruvka(tr, nil)
+	checkSpanningTree(t, pts.N, got)
+	if !math.IsInf(got[len(got)-1].W, 1) {
+		t.Fatalf("expected an overflowed +Inf bridge edge, got %v", got[len(got)-1].W)
 	}
 }
 
@@ -261,7 +279,7 @@ func TestWSPDBoruvkaMutualMetric(t *testing.T) {
 	tr := kdtree.Build(pts, 1)
 	cd := tr.CoreDistances(10)
 	tr.AnnotateCoreDists(cd)
-	metric := kdtree.MutualReachability{Pts: pts, CD: cd}
+	metric := kdtree.NewMutualReachability(tr)
 	want := TotalWeight(PrimDense(pts.N, metric.Dist))
 	got := WSPDBoruvka(Config{Tree: tr, Metric: metric, Sep: wspd.MutualUnreachable{}, Stats: NewStats()})
 	checkSpanningTree(t, pts.N, got)

@@ -7,11 +7,20 @@ import (
 )
 
 // Config carries the inputs shared by the WSPD-based MST algorithms.
+// Metric must be built over the tree's kd-ordered points (see the
+// kdtree.NewEuclidean/NewPointDist/NewMutualReachability constructors);
+// the algorithms translate their results back to original ids.
 type Config struct {
 	Tree   *kdtree.Tree
 	Metric kdtree.Metric
 	Sep    wspd.Separation
 	Stats  *Stats // optional
+
+	// WS supplies the reusable round buffers; nil means a private
+	// workspace per run. Sharing one Workspace across runs amortizes the
+	// union-find and reduction arrays (a Workspace serves one run at a
+	// time, and a returned edge slice never aliases it).
+	WS *Workspace
 
 	// LinearBeta switches the GFK/MemoGFK round schedule from doubling the
 	// cardinality bound (the paper's choice, crucial for the O(log n)
@@ -63,5 +72,8 @@ func Naive(cfg Config) []Edge {
 	cfg.Stats.Time("kruskal", func() {
 		out = Kruskal(n, edges)
 	})
+	for i, e := range out {
+		out[i] = MakeEdge(t.Orig[e.U], t.Orig[e.V], e.W)
+	}
 	return out
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package mst
+
+// raceEnabled reports that the race detector is active; the allocation
+// regression tests skip under it because instrumentation itself allocates.
+const raceEnabled = true

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"parclust/internal/geometry"
@@ -55,13 +56,17 @@ func preparePoints(t *testing.T, pts geometry.Points, m metric.Metric) geometry.
 }
 
 func configFor(pts geometry.Points, m metric.Metric) mst.Config {
+	// The tree slab-allocates its nodes and physically reorders the points
+	// into kd-order, so every sweep below also differentially tests the
+	// arena layout and the position<->original-id mapping against the
+	// oracle (which runs on the untouched input points).
 	tr := kdtree.BuildMetric(pts, 1, m)
 	var em kdtree.Metric
 	var sep wspd.Separation
 	if metric.IsL2(m) {
-		em, sep = kdtree.Euclidean{Pts: pts}, wspd.Geometric{S: 2}
+		em, sep = kdtree.NewEuclidean(tr), wspd.Geometric{S: 2}
 	} else {
-		em, sep = kdtree.PointDist{Pts: pts, M: m}, wspd.MetricGeometric{M: m, S: 2}
+		em, sep = kdtree.NewPointDist(tr), wspd.MetricGeometric{M: m, S: 2}
 	}
 	return mst.Config{Tree: tr, Metric: em, Sep: sep, Stats: mst.NewStats()}
 }
@@ -161,6 +166,67 @@ func TestCoreDistancesMatchOracleAllMetrics(t *testing.T) {
 					if math.Abs(got[i]-want[i]) > 1e-12*(1+want[i]) {
 						t.Fatalf("%s dim=%d minPts=%d: cd[%d]=%v, oracle %v",
 							m.Name(), dim, minPts, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReorderedTreeQueriesMatchOracleAllMetrics differentially tests the
+// arena/reordered k-d tree's query surface — KNN, RangeQuery, RangeCount —
+// against brute force over the untouched input points, under every kernel.
+// Any break in the kd-order permutation or the position<->original-id
+// mapping shows up as a wrong id or distance here.
+func TestReorderedTreeQueriesMatchOracleAllMetrics(t *testing.T) {
+	for _, m := range metric.All() {
+		for _, dim := range sweepDims {
+			pts := preparePoints(t, randPoints(150, dim, int64(53*dim)), m)
+			tr := kdtree.BuildMetric(pts, 4, m)
+			for q := 0; q < pts.N; q += 11 {
+				nbrs := tr.KNN(int32(q), 5)
+				dists := make([]float64, pts.N)
+				for j := 0; j < pts.N; j++ {
+					dists[j] = m.Dist(pts.At(q), pts.At(j))
+				}
+				for i, nb := range nbrs {
+					// The reported id must realize the reported distance
+					// against the ORIGINAL point set.
+					if math.Abs(dists[nb.Idx]-nb.Dist) > 1e-12*(1+nb.Dist) {
+						t.Fatalf("%s dim=%d q=%d: neighbor %d id %d does not realize dist %v",
+							m.Name(), dim, q, i, nb.Idx, nb.Dist)
+					}
+				}
+				// Pick a radius strictly between two distinct neighbor
+				// distances so sqrt/re-square rounding cannot flip a
+				// boundary point between the tree and the oracle.
+				sorted := append([]float64(nil), dists...)
+				sort.Float64s(sorted)
+				r := -1.0
+				for j := 4; j+1 < len(sorted); j++ {
+					if sorted[j+1] > sorted[j]*(1+1e-9)+1e-300 {
+						r = (sorted[j] + sorted[j+1]) / 2
+						break
+					}
+				}
+				if r < 0 {
+					continue // all candidate radii tie; nothing to separate
+				}
+				want := 0
+				for j := 0; j < pts.N; j++ {
+					if dists[j] <= r {
+						want++
+					}
+				}
+				if got := tr.RangeCount(int32(q), r); got != want {
+					t.Fatalf("%s dim=%d q=%d: RangeCount %d, oracle %d", m.Name(), dim, q, got, want)
+				}
+				if got := len(tr.RangeQuery(int32(q), r)); got != want {
+					t.Fatalf("%s dim=%d q=%d: RangeQuery returned %d ids, oracle %d", m.Name(), dim, q, got, want)
+				}
+				for _, p := range tr.RangeQuery(int32(q), r) {
+					if dists[p] > r {
+						t.Fatalf("%s dim=%d q=%d: RangeQuery id %d outside ball", m.Name(), dim, q, p)
 					}
 				}
 			}

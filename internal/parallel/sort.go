@@ -1,18 +1,35 @@
 package parallel
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Sort sorts a in place with a parallel merge sort using less as the strict
-// weak ordering. It falls back to the standard library sort for small inputs
-// or single-worker runs. The sort is not stable.
+// weak ordering. It falls back to the standard library generic sort (no
+// reflection, monomorphized comparator) for small inputs or single-worker
+// runs. The sort is not stable.
 func Sort[T any](a []T, less func(x, y T) bool) {
 	n := len(a)
 	if Workers() == 1 || n < 1<<13 {
-		sort.Slice(a, func(i, j int) bool { return less(a[i], a[j]) })
+		seqSort(a, less)
 		return
 	}
 	buf := make([]T, n)
 	mergeSort(a, buf, less, 0)
+}
+
+// seqSort is the sequential leaf sort shared by Sort and mergeSort.
+func seqSort[T any](a []T, less func(x, y T) bool) {
+	slices.SortFunc(a, func(x, y T) int {
+		if less(x, y) {
+			return -1
+		}
+		if less(y, x) {
+			return 1
+		}
+		return 0
+	})
 }
 
 const sortGrain = 1 << 12
@@ -20,7 +37,7 @@ const sortGrain = 1 << 12
 // mergeSort sorts a using buf as scratch. depth caps goroutine spawning.
 func mergeSort[T any](a, buf []T, less func(x, y T) bool, depth int) {
 	if len(a) <= sortGrain || depth > 10 {
-		sort.Slice(a, func(i, j int) bool { return less(a[i], a[j]) })
+		seqSort(a, less)
 		return
 	}
 	mid := len(a) / 2

@@ -33,8 +33,21 @@ type Geometric struct{ S float64 }
 
 // WellSeparated reports whether a and b satisfy the separation test.
 func (g Geometric) WellSeparated(a, b *kdtree.Node) bool {
-	r := math.Max(a.Radius, b.Radius)
-	return kdtree.SphereDist(a, b) >= g.S*r
+	r := a.Radius
+	if b.Radius > r {
+		r = b.Radius
+	}
+	return sphereGapAtLeast(a, b, g.S*r)
+}
+
+// sphereGapAtLeast reports SphereDist(a, b) >= x, evaluated in squared
+// space so the hot separation predicates never take a sqrt.
+func sphereGapAtLeast(a, b *kdtree.Node, x float64) bool {
+	if x <= 0 {
+		return true // the sphere gap is clamped at zero
+	}
+	t := x + a.Radius + b.Radius
+	return kdtree.SqCtrDist(a, b) >= t*t
 }
 
 // MutualUnreachable is the paper's new disjunctive well-separation for
@@ -46,15 +59,30 @@ func (g Geometric) WellSeparated(a, b *kdtree.Node) bool {
 type MutualUnreachable struct{}
 
 // WellSeparated reports geometric separation or mutual unreachability.
+// Both disjuncts are "sphere gap >= threshold" / "core-dist >= threshold"
+// comparisons, so the whole predicate runs sqrt-free in squared space.
 func (MutualUnreachable) WellSeparated(a, b *kdtree.Node) bool {
-	d := kdtree.SphereDist(a, b)
-	maxDiam := math.Max(a.Diam(), b.Diam())
-	if d >= maxDiam { // geometrically-separated (s = 2)
+	maxDiam := a.Diam()
+	if d := b.Diam(); d > maxDiam {
+		maxDiam = d
+	}
+	if sphereGapAtLeast(a, b, maxDiam) { // geometrically-separated (s = 2)
 		return true
 	}
-	lhs := math.Max(d, math.Max(a.CDMin, b.CDMin))
-	rhs := math.Max(maxDiam, math.Max(a.CDMax, b.CDMax))
-	return lhs >= rhs
+	cmin := a.CDMin
+	if b.CDMin > cmin {
+		cmin = b.CDMin
+	}
+	rhs := maxDiam
+	if a.CDMax > rhs {
+		rhs = a.CDMax
+	}
+	if b.CDMax > rhs {
+		rhs = b.CDMax
+	}
+	// lhs = max(gap, cmin): either the core-distance floor already clears
+	// rhs, or the sphere gap has to.
+	return cmin >= rhs || sphereGapAtLeast(a, b, rhs)
 }
 
 // MetricGeometric is well-separation under an arbitrary metric kernel's
@@ -110,7 +138,7 @@ func Decompose(t *kdtree.Tree, sep Separation) []Pair {
 	if t.Root == nil || t.Root.Size() <= 1 {
 		return nil
 	}
-	return wspdNode(t.Root, sep)
+	return wspdNode(t, t.Root, sep)
 }
 
 // Count returns the number of WSPD pairs without materializing them.
@@ -118,35 +146,41 @@ func Count(t *kdtree.Tree, sep Separation) int {
 	if t.Root == nil || t.Root.Size() <= 1 {
 		return 0
 	}
-	return countNode(t.Root, sep)
+	return countNode(t, t.Root, sep)
 }
 
-func wspdNode(a *kdtree.Node, sep Separation) []Pair {
+func wspdNode(t *kdtree.Tree, a *kdtree.Node, sep Separation) []Pair {
 	if a.IsLeaf() || a.Size() <= 1 {
 		return nil
 	}
+	al, ar := t.LeftOf(a), t.RightOf(a)
 	var left, right, mid []Pair
 	if a.Size() > spawnSize {
 		// Fork the subtree traversals as stealable tasks and keep the
 		// FindPair of the split on the current worker (work-first).
 		var g parallel.Group
-		g.Spawn(func() { left = wspdNode(a.Left, sep) })
-		g.Spawn(func() { right = wspdNode(a.Right, sep) })
-		g.Run(func() { mid = findPair(a.Left, a.Right, sep) })
+		g.Spawn(func() { left = wspdNode(t, al, sep) })
+		g.Spawn(func() { right = wspdNode(t, ar, sep) })
+		g.Run(func() { mid = findPair(t, al, ar, sep) })
 		g.Sync()
 	} else {
-		left = wspdNode(a.Left, sep)
-		right = wspdNode(a.Right, sep)
-		mid = findPair(a.Left, a.Right, sep)
+		left = wspdNode(t, al, sep)
+		right = wspdNode(t, ar, sep)
+		mid = findPair(t, al, ar, sep)
 	}
-	out := make([]Pair, 0, len(left)+len(right)+len(mid))
-	out = append(out, left...)
-	out = append(out, right...)
-	out = append(out, mid...)
-	return out
+	// left is exclusively owned by this call, so extend it in place rather
+	// than copying all three slices into a fresh buffer.
+	if len(left) == 0 {
+		if len(right) == 0 {
+			return mid
+		}
+		return append(right, mid...)
+	}
+	out := append(left, right...)
+	return append(out, mid...)
 }
 
-func findPair(p, q *kdtree.Node, sep Separation) []Pair {
+func findPair(t *kdtree.Tree, p, q *kdtree.Node, sep Separation) []Pair {
 	if p.Radius < q.Radius {
 		p, q = q, p
 	}
@@ -162,39 +196,41 @@ func findPair(p, q *kdtree.Node, sep Separation) []Pair {
 		}
 		p, q = q, p
 	}
+	pl, pr := t.LeftOf(p), t.RightOf(p)
 	var l, r []Pair
 	if p.Size()+q.Size() > spawnSize {
 		parallel.Do(
-			func() { l = findPair(p.Left, q, sep) },
-			func() { r = findPair(p.Right, q, sep) },
+			func() { l = findPair(t, pl, q, sep) },
+			func() { r = findPair(t, pr, q, sep) },
 		)
 	} else {
-		l = findPair(p.Left, q, sep)
-		r = findPair(p.Right, q, sep)
+		l = findPair(t, pl, q, sep)
+		r = findPair(t, pr, q, sep)
 	}
 	return append(l, r...)
 }
 
-func countNode(a *kdtree.Node, sep Separation) int {
+func countNode(t *kdtree.Tree, a *kdtree.Node, sep Separation) int {
 	if a.IsLeaf() || a.Size() <= 1 {
 		return 0
 	}
+	al, ar := t.LeftOf(a), t.RightOf(a)
 	var left, right, mid int
 	if a.Size() > spawnSize {
 		var g parallel.Group
-		g.Spawn(func() { left = countNode(a.Left, sep) })
-		g.Spawn(func() { right = countNode(a.Right, sep) })
-		g.Run(func() { mid = countPair(a.Left, a.Right, sep) })
+		g.Spawn(func() { left = countNode(t, al, sep) })
+		g.Spawn(func() { right = countNode(t, ar, sep) })
+		g.Run(func() { mid = countPair(t, al, ar, sep) })
 		g.Sync()
 	} else {
-		left = countNode(a.Left, sep)
-		right = countNode(a.Right, sep)
-		mid = countPair(a.Left, a.Right, sep)
+		left = countNode(t, al, sep)
+		right = countNode(t, ar, sep)
+		mid = countPair(t, al, ar, sep)
 	}
 	return left + right + mid
 }
 
-func countPair(p, q *kdtree.Node, sep Separation) int {
+func countPair(t *kdtree.Tree, p, q *kdtree.Node, sep Separation) int {
 	if p.Radius < q.Radius {
 		p, q = q, p
 	}
@@ -207,15 +243,16 @@ func countPair(p, q *kdtree.Node, sep Separation) int {
 		}
 		p, q = q, p
 	}
+	pl, pr := t.LeftOf(p), t.RightOf(p)
 	var l, r int
 	if p.Size()+q.Size() > spawnSize {
 		parallel.Do(
-			func() { l = countPair(p.Left, q, sep) },
-			func() { r = countPair(p.Right, q, sep) },
+			func() { l = countPair(t, pl, q, sep) },
+			func() { r = countPair(t, pr, q, sep) },
 		)
 	} else {
-		l = countPair(p.Left, q, sep)
-		r = countPair(p.Right, q, sep)
+		l = countPair(t, pl, q, sep)
+		r = countPair(t, pr, q, sep)
 	}
 	return l + r
 }

@@ -104,13 +104,14 @@ func prepareMetric(pts Points, m Metric) (Points, metric.Metric, error) {
 	return pts, kern, nil
 }
 
-// edgeMetricFor adapts the kernel to the MST edge-weight interface,
-// preserving the monomorphized Euclidean fast path.
-func edgeMetricFor(pts Points, kern metric.Metric) kdtree.Metric {
-	if metric.IsL2(kern) {
-		return kdtree.Euclidean{Pts: pts}
+// edgeMetricFor adapts the tree's kernel to the MST edge-weight interface
+// over the kd-ordered points, preserving the monomorphized Euclidean fast
+// path.
+func edgeMetricFor(t *kdtree.Tree) kdtree.Metric {
+	if t.IsL2() {
+		return kdtree.NewEuclidean(t)
 	}
-	return kdtree.PointDist{Pts: pts, M: kern}
+	return kdtree.NewPointDist(t)
 }
 
 // separationFor selects the s=2 geometric well-separation for the kernel.
@@ -252,7 +253,7 @@ func EMSTMetricWithStats(pts Points, algo EMSTAlgorithm, m Metric, stats *Stats)
 	if algo == EMSTBoruvka {
 		return mst.Boruvka(t, stats), nil
 	}
-	cfg := mst.Config{Tree: t, Metric: edgeMetricFor(pts, kern), Sep: separationFor(kern), Stats: stats}
+	cfg := mst.Config{Tree: t, Metric: edgeMetricFor(t), Sep: separationFor(kern), Stats: stats}
 	switch algo {
 	case EMSTMemoGFK:
 		return mst.MemoGFK(cfg), nil
