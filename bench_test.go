@@ -344,3 +344,70 @@ func BenchmarkAblation_MSTStrategy(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkIndexServe measures the serving regimes the Index separates: a
+// minPts x eps parameter sweep answered by one shared Index versus the
+// one-shot APIs in a loop (the cmd/benchsuite "serve" experiment).
+func BenchmarkIndexServe(b *testing.B) {
+	pts := benchVarden(2)
+	minPtsList := []int{5, 10, 20}
+	epsList := []float64{0.5, 1, 2, 4, 8}
+	b.Run("shared-index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx, err := NewIndex(pts, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, mp := range minPtsList {
+				h, err := idx.HDBSCAN(mp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, eps := range epsList {
+					h.ClustersAt(eps)
+					h.NumNoiseAt(eps)
+				}
+			}
+		}
+	})
+	b.Run("one-shot-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, mp := range minPtsList {
+				for _, eps := range epsList {
+					h, err := HDBSCAN(pts, mp)
+					if err != nil {
+						b.Fatal(err)
+					}
+					h.ClustersAt(eps)
+					h.NumNoiseAt(eps)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkIndexCut isolates the precomputed-cut path: repeated ClustersAt
+// on a warm hierarchy (near-O(n) off the sorted merge order) and the
+// O(log n) NumNoiseAt.
+func BenchmarkIndexCut(b *testing.B) {
+	pts := benchVarden(2)
+	idx, err := NewIndex(pts, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := idx.HDBSCAN(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h.ClustersAt(1) // warm the cut structure
+	b.Run("ClustersAt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.ClustersAt(float64(i%5) + 0.5)
+		}
+	})
+	b.Run("NumNoiseAt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.NumNoiseAt(float64(i%5) + 0.5)
+		}
+	})
+}

@@ -34,7 +34,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment to run (table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10 memory pairs metrics all)")
+	expFlag     = flag.String("exp", "all", "experiment to run (table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10 memory pairs metrics serve all)")
 	nFlag       = flag.Int("n", 10000, "points per dataset")
 	minPtsFlag  = flag.Int("minpts", 10, "HDBSCAN* minPts")
 	seedFlag    = flag.Int64("seed", 42, "generator seed")
@@ -68,7 +68,7 @@ func main() {
 		*nFlag, *minPtsFlag, *seedFlag, runtime.NumCPU())
 	exps := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
-		exps = []string{"table3", "table4", "table5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "memory", "pairs", "metrics"}
+		exps = []string{"table3", "table4", "table5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "memory", "pairs", "metrics", "serve"}
 	}
 	summary := jsonSummary{
 		N:         *nFlag,
@@ -106,6 +106,8 @@ func main() {
 			pairStudy()
 		case "metrics":
 			metricStudy()
+		case "serve":
+			serveStudy()
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", e)
 			os.Exit(2)
@@ -220,8 +222,14 @@ func runEMST(pts geometry.Points, algo parclust.EMSTAlgorithm, p int) (float64, 
 	if (algo == parclust.EMSTNaive || algo == parclust.EMSTGFK) && wspdTooLarge(pts) {
 		return 0, false
 	}
+	// A fresh Index inside the timed region measures the full one-shot
+	// pipeline (tree build included) through the staged engine.
 	t := withThreads(p, func() {
-		if _, err := parclust.EMSTWithStats(pts, algo, nil); err != nil {
+		idx, err := parclust.NewIndex(pts, nil)
+		if err == nil {
+			_, err = idx.EMSTWithAlgorithm(algo)
+		}
+		if err != nil {
 			panic(err)
 		}
 	})
@@ -264,7 +272,11 @@ var hdbAlgos = []struct {
 
 func runHDBSCAN(pts geometry.Points, algo parclust.HDBSCANAlgorithm, p int) float64 {
 	return withThreads(p, func() {
-		if _, err := parclust.HDBSCANWithStats(pts, *minPtsFlag, algo, nil); err != nil {
+		idx, err := parclust.NewIndex(pts, nil)
+		if err == nil {
+			_, err = idx.HDBSCANWithAlgorithm(*minPtsFlag, algo)
+		}
+		if err != nil {
 			panic(err)
 		}
 	})
@@ -574,11 +586,17 @@ func metricStudy() {
 		d := ds[di]
 		pts := gen(d)
 		for _, m := range parclust.Metrics() {
+			// A fresh throwaway Index inside every timed region keeps the
+			// per-algorithm rows comparable (each pays its own tree build,
+			// as the one-shot APIs always have); the Index amortization win
+			// is measured by the dedicated serve experiment instead.
 			for _, a := range emstSel {
 				var edges []parclust.Edge
 				secs := withThreads(runtime.NumCPU(), func() {
-					var err error
-					edges, err = parclust.EMSTMetricWithStats(pts, a.algo, m, nil)
+					idx, err := parclust.NewIndex(pts, &parclust.IndexOptions{Metric: m})
+					if err == nil {
+						edges, err = idx.EMSTWithAlgorithm(a.algo)
+					}
 					if err != nil {
 						panic(err)
 					}
@@ -587,8 +605,10 @@ func metricStudy() {
 			}
 			var h *parclust.Hierarchy
 			secs := withThreads(runtime.NumCPU(), func() {
-				var err error
-				h, err = parclust.HDBSCANMetricWithStats(pts, *minPtsFlag, parclust.HDBSCANMemoGFK, m, nil)
+				idx, err := parclust.NewIndex(pts, &parclust.IndexOptions{Metric: m})
+				if err == nil {
+					h, err = idx.HDBSCAN(*minPtsFlag)
+				}
 				if err != nil {
 					panic(err)
 				}
@@ -596,6 +616,68 @@ func metricStudy() {
 			fmt.Printf("%s | %v | HDBSCAN*-MemoGFK | %.3f | %.4f\n", d.Name, m, secs, h.TotalWeight())
 		}
 	}
+}
+
+// serveStudy measures query throughput on a fixed dataset under the two
+// serving regimes the Index exists to separate: parameter sweeps (minPts x
+// eps) answered by one shared Index versus calling the one-shot APIs in a
+// loop, which rebuilds the tree and reruns the pipeline per query. The
+// reported speedup pins the amortization win of the staged engine.
+func serveStudy() {
+	fmt.Println("\n## Serve: query throughput, shared Index vs one-shot loop (minPts x eps sweep)")
+	pts := generator.SSVarden(*nFlag, 2, *seedFlag)
+	minPtsList := []int{5, 10, 20}
+	// Derive a meaningful eps ladder from the MST weight distribution.
+	probe, err := parclust.HDBSCAN(pts, 10)
+	if err != nil {
+		panic(err)
+	}
+	ws := make([]float64, len(probe.MST))
+	for i, e := range probe.MST {
+		ws[i] = e.W
+	}
+	sort.Float64s(ws)
+	quantile := func(q float64) float64 { return ws[int(q*float64(len(ws)-1))] }
+	epsList := []float64{quantile(0.5), quantile(0.7), quantile(0.8), quantile(0.9), quantile(0.95)}
+	queries := len(minPtsList) * len(epsList)
+
+	tIndex := withThreads(runtime.NumCPU(), func() {
+		idx, err := parclust.NewIndex(pts, nil)
+		if err != nil {
+			panic(err)
+		}
+		for _, mp := range minPtsList {
+			h, err := idx.HDBSCAN(mp)
+			if err != nil {
+				panic(err)
+			}
+			for _, eps := range epsList {
+				h.ClustersAt(eps)
+				h.NumNoiseAt(eps)
+			}
+		}
+		s := idx.Stats()
+		fmt.Printf("index stage cache: tree %d built, core-dist %d, mst %d, dendrogram %d\n",
+			s.TreeBuilds, s.CoreDistBuilds, s.MSTBuilds, s.DendrogramBuilds)
+	})
+	tOneShot := withThreads(runtime.NumCPU(), func() {
+		for _, mp := range minPtsList {
+			for _, eps := range epsList {
+				h, err := parclust.HDBSCAN(pts, mp)
+				if err != nil {
+					panic(err)
+				}
+				h.ClustersAt(eps)
+				h.NumNoiseAt(eps)
+			}
+		}
+	})
+	qpsIndex := float64(queries) / tIndex
+	qpsOneShot := float64(queries) / tOneShot
+	fmt.Printf("n=%d queries=%d (minPts %v x eps 5 cuts)\n", pts.N, queries, minPtsList)
+	fmt.Printf("one-shot loop | %.3fs | %.2f queries/s\n", tOneShot, qpsOneShot)
+	fmt.Printf("shared index  | %.3fs | %.2f queries/s\n", tIndex, qpsIndex)
+	fmt.Printf("speedup       | %.2fx\n", qpsIndex/qpsOneShot)
 }
 
 func pairStudy() {

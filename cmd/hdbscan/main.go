@@ -56,12 +56,23 @@ func main() {
 	}
 	stats := parclust.NewStats()
 	start := time.Now()
+	// Everything below runs off one Index: the hierarchy, every -eps cut,
+	// the stable extraction, and the plot share a single tree build.
+	var idx *parclust.Index
 	var h *parclust.Hierarchy
 	switch *algo {
-	case "memogfk":
-		h, err = parclust.HDBSCANMetricWithStats(pts, *minPts, parclust.HDBSCANMemoGFK, m, stats)
-	case "gantao":
-		h, err = parclust.HDBSCANMetricWithStats(pts, *minPts, parclust.HDBSCANGanTao, m, stats)
+	case "memogfk", "gantao":
+		idx, err = parclust.NewIndex(pts, &parclust.IndexOptions{Metric: m})
+		if err == nil {
+			ha := parclust.HDBSCANMemoGFK
+			if *algo == "gantao" {
+				ha = parclust.HDBSCANGanTao
+			}
+			h, err = idx.HDBSCANWithAlgorithm(*minPts, ha)
+			if err == nil {
+				stats = h.Stats
+			}
+		}
 	case "approx":
 		if m != parclust.MetricL2 {
 			err = fmt.Errorf("algorithm approx supports the l2 metric only, got %v", m)
@@ -83,6 +94,12 @@ func main() {
 	if *phases {
 		for name, d := range stats.Phases {
 			fmt.Printf("phase %-12s %.3fs\n", name, d.Seconds())
+		}
+		if idx != nil {
+			s := idx.Stats()
+			fmt.Printf("stage cache: tree %d built/%d hit, core-dist %d/%d, mst %d/%d, dendrogram %d/%d\n",
+				s.TreeBuilds, s.TreeHits, s.CoreDistBuilds, s.CoreDistHits,
+				s.MSTBuilds, s.MSTHits, s.DendrogramBuilds, s.DendrogramHits)
 		}
 	}
 	if *epsList != "" {

@@ -16,6 +16,32 @@
 //     divide-and-conquer algorithm, supporting single-linkage clustering and
 //     DBSCAN* cluster extraction at any radius.
 //
+// # The Index: build once, serve many queries
+//
+// Index is the staged pipeline engine behind every entry point: it
+// decomposes the call chain into explicit stages — k-d tree, core
+// distances per minPts, MST per (pipeline, algorithm, minPts), and the
+// ordered dendrogram with its precomputed cut structure — and memoizes
+// each stage output keyed on its parameters. All queries over one Index
+// (HDBSCAN, DBSCAN, OPTICS, EMST, SingleLinkage, KNN, RangeQuery) share a
+// single tree build and kd-order permutation; changing minPts recomputes
+// only core distances and the MST; changing eps recomputes nothing but the
+// dendrogram cut, which runs off a precomputed sorted merge order in
+// near-O(n) (NumNoiseAt in O(log n)). Index.Stats exposes per-stage cache
+// hit/miss counters. The one-shot package-level functions are thin
+// wrappers over a throwaway Index and behave exactly as before.
+//
+// Concurrency: an Index is safe for concurrent use. Memoized stage
+// outputs are immutable after publication and read without locking; stage
+// computation is serialized internally (MST runs annotate the shared
+// tree), and concurrent first queries for equal parameters compute the
+// stage once. Pure read queries run concurrently with each other and with
+// in-flight stage computation. Slices exposing shared stage data —
+// Hierarchy.MST, Hierarchy.CoreDist, Index.CoreDistances — and the points
+// passed to NewIndex must be treated as read-only while the Index is in
+// use. Per-run MST scratch comes from a process-wide workspace pool, so an
+// Index holds no mutable per-query state of its own.
+//
 // # Metric kernels
 //
 // Every algorithm is parameterized over a pluggable distance kernel
@@ -65,4 +91,11 @@
 //	edges, _ := parclust.EMST(pts)
 //	h, _ := parclust.HDBSCAN(pts, 10)
 //	clusters := h.ClustersAt(2.5)
+//
+//	// Build once, serve many queries:
+//	idx, _ := parclust.NewIndex(pts, nil)
+//	h5, _ := idx.HDBSCAN(5)    // builds the tree, core distances, MST
+//	h9, _ := idx.HDBSCAN(9)    // reuses the tree; new core distances + MST
+//	c := h9.ClustersAt(2.5)    // near-O(n) cut off the precomputed merge order
+//	nn, _ := idx.KNN(17, 10)   // same tree again
 package parclust

@@ -1,0 +1,63 @@
+// Serve: build one parclust.Index over a dataset and answer many
+// clustering queries from it — the build-once/query-many pattern the
+// staged pipeline engine exists for. One tree build and one core-distance
+// computation per minPts serve an entire minPts x eps parameter sweep,
+// DBSCAN queries, and k-NN lookups; the Index's stage cache counters show
+// exactly what was computed versus reused.
+package main
+
+import (
+	"fmt"
+
+	"parclust"
+)
+
+func main() {
+	// Four Gaussian blobs in 2D; imagine this is a mostly-static dataset
+	// behind a query endpoint.
+	pts := parclust.GenerateGaussianMixture(5000, 2, 4, 7)
+
+	idx, err := parclust.NewIndex(pts, nil) // nil options: Euclidean metric
+	if err != nil {
+		panic(err)
+	}
+
+	// Sweep minPts x eps. Each minPts pays core distances + one MST; every
+	// eps cut runs off the precomputed merge order in near-O(n).
+	for _, minPts := range []int{5, 10, 25} {
+		h, err := idx.HDBSCAN(minPts)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("minPts=%d (MST weight %.1f):", minPts, h.TotalWeight())
+		for _, eps := range []float64{0.5, 1, 2, 4, 8} {
+			c := h.ClustersAt(eps)
+			fmt.Printf("  eps=%g->%d clusters/%d noise", eps, c.NumClusters, h.NumNoiseAt(eps))
+		}
+		fmt.Println()
+	}
+
+	// Flat DBSCAN at a fixed radius reuses the same tree and the memoized
+	// core distances for minPts=10.
+	c, err := idx.DBSCAN(10, 1.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("DBSCAN(minPts=10, eps=1.5): %d clusters\n", c.NumClusters)
+
+	// Point queries ride on the same tree too.
+	nb, err := idx.KNN(0, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("4-NN of point 0: %v\n", nb)
+
+	// The stage cache counters prove the amortization: one tree build
+	// served every query above.
+	s := idx.Stats()
+	fmt.Printf("stage cache: tree %d built / %d reused, core-dist %d built / %d reused, mst %d built / %d reused\n",
+		s.TreeBuilds, s.TreeHits, s.CoreDistBuilds, s.CoreDistHits, s.MSTBuilds, s.MSTHits)
+	if s.TreeBuilds != 1 {
+		panic("expected exactly one tree build")
+	}
+}

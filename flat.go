@@ -1,23 +1,26 @@
 package parclust
 
 import (
-	"fmt"
-	"math"
-
-	"parclust/internal/dbscan"
 	"parclust/internal/optics"
 )
 
 // Flat clustering entry points complementing the hierarchy: the classic
 // single-radius DBSCAN/DBSCAN* baselines, the stability-based automatic
 // extraction from an HDBSCAN* hierarchy, and the classic OPTICS ordering.
+// Each one-shot function is a thin wrapper over a throwaway Index; build an
+// Index explicitly to amortize the tree and core-distance stages across
+// repeated queries. The shared tree uses leaf size 1 (the WSPD
+// requirement) where the standalone flat implementations historically used
+// 16 — results are identical (labels are traversal-order independent), at
+// a modest constant-factor cost per one-shot range query that buying into
+// the shared pipeline accepts.
 
 // DBSCANStar computes the flat DBSCAN* clustering of Campello et al. at a
 // single radius eps: points with at least minPts neighbors within eps
 // (counting themselves) are core points, clusters are eps-connected
 // components of core points, everything else is noise. Equivalent to
-// HDBSCAN(pts, minPts).ClustersAt(eps), but computed directly; prefer the
-// hierarchy when several radii will be explored.
+// HDBSCAN(pts, minPts).ClustersAt(eps), but computed directly; prefer an
+// Index (or the hierarchy) when several parameters will be explored.
 func DBSCANStar(pts Points, minPts int, eps float64) (Clustering, error) {
 	return DBSCANStarMetric(pts, minPts, eps, MetricL2)
 }
@@ -26,15 +29,11 @@ func DBSCANStar(pts Points, minPts int, eps float64) (Clustering, error) {
 // metric kernel (for MetricSqL2, eps is compared against squared
 // distances).
 func DBSCANStarMetric(pts Points, minPts int, eps float64, m Metric) (Clustering, error) {
-	pts, kern, err := prepareMetric(pts, m)
+	idx, err := NewIndex(pts, &IndexOptions{Metric: m})
 	if err != nil {
 		return Clustering{}, err
 	}
-	if minPts < 1 || eps < 0 || math.IsNaN(eps) {
-		return Clustering{}, fmt.Errorf("parclust: invalid minPts=%d or eps=%v", minPts, eps)
-	}
-	r := dbscan.DBSCANStarMetric(pts, minPts, eps, kern)
-	return Clustering{Labels: r.Labels, NumClusters: r.NumClusters}, nil
+	return idx.DBSCANStar(minPts, eps)
 }
 
 // DBSCAN computes the original Ester et al. clustering, which additionally
@@ -47,15 +46,11 @@ func DBSCAN(pts Points, minPts int, eps float64) (Clustering, error) {
 // DBSCANMetric is DBSCAN with neighborhoods and border attachment taken
 // under the given metric kernel.
 func DBSCANMetric(pts Points, minPts int, eps float64, m Metric) (Clustering, error) {
-	pts, kern, err := prepareMetric(pts, m)
+	idx, err := NewIndex(pts, &IndexOptions{Metric: m})
 	if err != nil {
 		return Clustering{}, err
 	}
-	if minPts < 1 || eps < 0 || math.IsNaN(eps) {
-		return Clustering{}, fmt.Errorf("parclust: invalid minPts=%d or eps=%v", minPts, eps)
-	}
-	r := dbscan.DBSCANMetric(pts, minPts, eps, kern)
-	return Clustering{Labels: r.Labels, NumClusters: r.NumClusters}, nil
+	return idx.DBSCAN(minPts, eps)
 }
 
 // ExtractStableClusters runs the stability-based (excess of mass) flat
@@ -83,15 +78,9 @@ func OPTICS(pts Points, minPts int, eps float64) ([]OPTICSEntry, error) {
 // OPTICSMetric is OPTICS with distances, core distances, and neighborhoods
 // taken under the given metric kernel.
 func OPTICSMetric(pts Points, minPts int, eps float64, m Metric) ([]OPTICSEntry, error) {
-	pts, kern, err := prepareMetric(pts, m)
+	idx, err := NewIndex(pts, &IndexOptions{Metric: m})
 	if err != nil {
 		return nil, err
 	}
-	if minPts < 1 {
-		return nil, fmt.Errorf("parclust: invalid minPts=%d", minPts)
-	}
-	if math.IsNaN(eps) || eps < 0 {
-		return nil, fmt.Errorf("parclust: invalid eps=%v", eps)
-	}
-	return optics.RunMetric(pts, minPts, eps, false, kern), nil
+	return idx.OPTICS(minPts, eps)
 }

@@ -3,8 +3,10 @@ package parclust
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"parclust/internal/dendrogram"
+	"parclust/internal/engine"
 	"parclust/internal/hdbscan"
 	"parclust/internal/mst"
 )
@@ -39,6 +41,10 @@ func (a HDBSCANAlgorithm) String() string {
 
 // Hierarchy is a cluster hierarchy: the MST of the (mutual reachability or
 // Euclidean) graph plus the ordered dendrogram built from it.
+//
+// A Hierarchy returned by an Index shares the Index's memoized stage
+// outputs: MST and CoreDist must be treated as read-only, and all methods
+// are safe for concurrent use.
 type Hierarchy struct {
 	N int
 	// MST edges in the order Kruskal accepted them (non-decreasing weight).
@@ -54,6 +60,28 @@ type Hierarchy struct {
 	Stats *Stats
 
 	dendro *Dendrogram
+
+	// stage is the Index-memoized hierarchy stage backing this Hierarchy
+	// (nil for hierarchies built outside the engine, e.g. ApproxOPTICS);
+	// it shares the precomputed cut structure across equal queries.
+	stage *engine.HierStage
+	// cutOnce/cutter lazily build a private cut structure when no stage is
+	// attached.
+	cutOnce sync.Once
+	cutter  *dendrogram.Cutter
+}
+
+// newHierarchy wraps a memoized engine hierarchy stage in the public type.
+func newHierarchy(st *engine.HierStage, minPts int, stats *Stats) *Hierarchy {
+	return &Hierarchy{
+		N:        st.N,
+		MST:      st.MST,
+		CoreDist: st.CoreDist,
+		MinPts:   minPts,
+		Stats:    stats,
+		dendro:   st.Dendro,
+		stage:    st,
+	}
 }
 
 // HDBSCAN computes the HDBSCAN* hierarchy for pts with the default
@@ -79,39 +107,13 @@ func HDBSCANMetric(pts Points, minPts int, m Metric) (*Hierarchy, error) {
 
 // HDBSCANMetricWithStats is HDBSCANWithStats under an arbitrary metric
 // kernel: core distances, mutual reachability, and the well-separation
-// predicate all run under m.
+// predicate all run under m. It is a thin wrapper over a throwaway Index.
 func HDBSCANMetricWithStats(pts Points, minPts int, algo HDBSCANAlgorithm, m Metric, stats *Stats) (*Hierarchy, error) {
-	pts, kern, err := prepareMetric(pts, m)
+	idx, err := NewIndex(pts, &IndexOptions{Metric: m})
 	if err != nil {
 		return nil, err
 	}
-	if minPts < 1 {
-		return nil, fmt.Errorf("parclust: minPts must be >= 1, got %d", minPts)
-	}
-	if minPts > pts.N && pts.N > 0 {
-		return nil, fmt.Errorf("parclust: minPts=%d exceeds number of points %d", minPts, pts.N)
-	}
-	var ha hdbscan.Algorithm
-	switch algo {
-	case HDBSCANMemoGFK:
-		ha = hdbscan.MemoGFK
-	case HDBSCANGanTao:
-		ha = hdbscan.GanTao
-	case HDBSCANGanTaoFull:
-		ha = hdbscan.GanTaoFull
-	default:
-		return nil, fmt.Errorf("parclust: unknown HDBSCAN algorithm %v", algo)
-	}
-	res := hdbscan.BuildMetric(pts, minPts, ha, kern, stats)
-	h := &Hierarchy{
-		N:        pts.N,
-		MST:      res.MST,
-		CoreDist: res.CoreDist,
-		MinPts:   minPts,
-		Stats:    res.Stats,
-	}
-	h.buildDendrogram()
-	return h, nil
+	return idx.hdbscanWithStats(minPts, algo, stats)
 }
 
 // SingleLinkage computes the single-linkage clustering hierarchy of pts:
@@ -132,15 +134,13 @@ func SingleLinkageWithStats(pts Points, stats *Stats) (*Hierarchy, error) {
 }
 
 // SingleLinkageMetricWithStats is SingleLinkage under an arbitrary metric
-// kernel with instrumentation.
+// kernel with instrumentation. It is a thin wrapper over a throwaway Index.
 func SingleLinkageMetricWithStats(pts Points, m Metric, stats *Stats) (*Hierarchy, error) {
-	edges, err := EMSTMetricWithStats(pts, EMSTMemoGFK, m, stats)
+	idx, err := NewIndex(pts, &IndexOptions{Metric: m})
 	if err != nil {
 		return nil, err
 	}
-	h := &Hierarchy{N: pts.N, MST: edges, MinPts: 1, Stats: stats}
-	h.buildDendrogram()
-	return h, nil
+	return idx.singleLinkageWithStats(stats)
 }
 
 // ApproxOPTICS computes the approximate OPTICS hierarchy of Appendix C with
@@ -193,24 +193,32 @@ func (h *Hierarchy) Dendrogram() *Dendrogram { return h.dendro }
 // leaf traversal of the ordered dendrogram (Section 4.1).
 func (h *Hierarchy) ReachabilityPlot() []Bar { return h.dendro.ReachabilityPlot() }
 
+// cut returns the precomputed cut structure: the Index-memoized one when
+// this Hierarchy is stage-backed, a lazily-built private one otherwise.
+func (h *Hierarchy) cut() *dendrogram.Cutter {
+	if h.stage != nil {
+		return h.stage.Cutter()
+	}
+	h.cutOnce.Do(func() {
+		h.cutter = dendrogram.NewCutter(h.N, h.MST, h.CoreDist)
+	})
+	return h.cutter
+}
+
 // ClustersAt extracts the flat DBSCAN* clustering at radius eps: points
 // with core distance above eps are noise, remaining points are grouped by
 // MST edges of weight at most eps. For single-linkage hierarchies every
-// point is core.
+// point is core. The first call precomputes the sorted merge order; every
+// call after that runs in O(n) with no union-find and no edge re-walk, so
+// sweeping many radii over one hierarchy is cheap.
 func (h *Hierarchy) ClustersAt(eps float64) Clustering {
-	return dendrogram.CutTree(h.N, h.MST, h.CoreDist, eps)
+	return h.cut().CutAt(eps)
 }
 
-// NumNoiseAt returns the number of noise points at radius eps.
+// NumNoiseAt returns the number of noise points at radius eps in O(log n)
+// via binary search over the precomputed sorted core distances.
 func (h *Hierarchy) NumNoiseAt(eps float64) int {
-	c := h.ClustersAt(eps)
-	noise := 0
-	for _, l := range c.Labels {
-		if l == -1 {
-			noise++
-		}
-	}
-	return noise
+	return h.cut().NumNoiseAt(eps)
 }
 
 // TotalWeight returns the total MST weight (a scale-free summary used by

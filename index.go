@@ -1,0 +1,328 @@
+package parclust
+
+import (
+	"fmt"
+	"math"
+
+	"parclust/internal/dbscan"
+	"parclust/internal/engine"
+	"parclust/internal/hdbscan"
+	"parclust/internal/kdtree"
+	"parclust/internal/optics"
+)
+
+// Neighbor is one k-NN result entry: an original point id and its
+// tree-metric distance to the query point.
+type Neighbor = kdtree.Neighbor
+
+// IndexOptions configures NewIndex. The zero value (and a nil pointer)
+// selects the defaults.
+type IndexOptions struct {
+	// Metric is the distance kernel every query runs under
+	// (default MetricL2).
+	Metric Metric
+}
+
+// Index is a reusable, build-once/query-many handle over one immutable
+// point set: it decomposes the clustering pipeline into explicit stages —
+//
+//	tree ──> coreDist(minPts) ──> mst(algo, minPts) ──> dendrogram + cut
+//
+// — and memoizes each stage output keyed on its parameters, so every query
+// reuses whatever upstream work previous queries already paid for.
+// HDBSCAN, DBSCAN, OPTICS, EMST, SingleLinkage, and KNN all share one tree
+// build (and one kd-order permutation); changing minPts recomputes only
+// core distances and the MST, not the tree; changing eps recomputes nothing
+// but the precomputed dendrogram cut. Stats reports per-stage cache
+// hits/misses.
+//
+// # Concurrency
+//
+// An Index is safe for concurrent use by multiple goroutines. Memoized
+// stage outputs are immutable after publication and are read without
+// locking; stage computation (a cache miss) is serialized internally, so
+// concurrent first queries for the same parameters compute the stage once.
+// Pure read queries (KNN, RangeQuery, DBSCAN, OPTICS, flat cuts) run
+// concurrently with each other and with an in-flight stage computation.
+// Results that expose shared stage outputs — Hierarchy.MST,
+// Hierarchy.CoreDist, CoreDistances — must be treated as read-only; the
+// same applies to the points passed to NewIndex, which the Index keeps a
+// reference to (the angular kernel excepted, which normalizes into a
+// private copy).
+//
+// Repeated queries with equal parameters return results backed by the same
+// memoized stage data; all results are byte-identical to the one-shot
+// package-level functions, which are themselves thin wrappers over a
+// throwaway Index.
+type Index struct {
+	metric Metric
+	eng    *engine.Engine
+}
+
+// NewIndex validates pts and returns an Index over it. The points are
+// captured by reference (except under MetricAngular, which stores a
+// unit-normalized copy) and must not be mutated while the Index is in use.
+func NewIndex(pts Points, opts *IndexOptions) (*Index, error) {
+	m := MetricL2
+	if opts != nil {
+		m = opts.Metric
+	}
+	prepared, kern, err := prepareMetric(pts, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{metric: m, eng: engine.New(prepared, kern)}, nil
+}
+
+// N returns the number of indexed points.
+func (ix *Index) N() int { return ix.eng.Pts.N }
+
+// Dim returns the dimensionality of the indexed points.
+func (ix *Index) Dim() int { return ix.eng.Pts.Dim }
+
+// Metric returns the distance kernel the Index runs under.
+func (ix *Index) Metric() Metric { return ix.metric }
+
+// IndexStats is a snapshot of an Index's per-stage cache counters: Builds
+// count stage executions (misses), Hits count queries served from a
+// memoized stage. After any number of queries over one dataset,
+// TreeBuilds == 1 and MSTBuilds equals the number of distinct
+// (pipeline, algorithm, minPts) combinations queried.
+type IndexStats = engine.Counters
+
+// Stats returns a snapshot of the per-stage cache counters.
+func (ix *Index) Stats() IndexStats { return ix.eng.Counters() }
+
+// HDBSCAN returns the memoized HDBSCAN* hierarchy for minPts (default
+// space-efficient algorithm). The first call per minPts computes core
+// distances and the mutual-reachability MST over the shared tree; later
+// calls are cache hits.
+func (ix *Index) HDBSCAN(minPts int) (*Hierarchy, error) {
+	return ix.hdbscanWithStats(minPts, HDBSCANMemoGFK, nil)
+}
+
+// HDBSCANWithAlgorithm is HDBSCAN with an explicit MST algorithm choice.
+func (ix *Index) HDBSCANWithAlgorithm(minPts int, algo HDBSCANAlgorithm) (*Hierarchy, error) {
+	return ix.hdbscanWithStats(minPts, algo, nil)
+}
+
+func (ix *Index) hdbscanWithStats(minPts int, algo HDBSCANAlgorithm, stats *Stats) (*Hierarchy, error) {
+	if minPts < 1 {
+		return nil, fmt.Errorf("parclust: minPts must be >= 1, got %d", minPts)
+	}
+	if n := ix.N(); minPts > n && n > 0 {
+		return nil, fmt.Errorf("parclust: minPts=%d exceeds number of points %d", minPts, n)
+	}
+	ha, err := hdbscanAlgoFor(algo)
+	if err != nil {
+		return nil, err
+	}
+	if stats == nil {
+		stats = NewStats()
+	}
+	st := ix.eng.Hierarchy(engine.KindHDBSCAN, uint8(ha), minPts, stats)
+	return newHierarchy(st, minPts, stats), nil
+}
+
+// SingleLinkage returns the memoized single-linkage hierarchy (the ordered
+// dendrogram over the EMST).
+func (ix *Index) SingleLinkage() (*Hierarchy, error) {
+	return ix.singleLinkageWithStats(nil)
+}
+
+func (ix *Index) singleLinkageWithStats(stats *Stats) (*Hierarchy, error) {
+	st := ix.eng.Hierarchy(engine.KindEMST, uint8(engine.EMSTMemoGFK), 1, stats)
+	return newHierarchy(st, 1, stats), nil
+}
+
+// EMST returns the memoized minimum spanning tree under the Index's kernel
+// with the default (MemoGFK) algorithm. The returned slice is shared and
+// must be treated as read-only.
+func (ix *Index) EMST() ([]Edge, error) {
+	return ix.emstWithStats(EMSTMemoGFK, nil)
+}
+
+// EMSTWithAlgorithm is EMST with an explicit algorithm choice.
+// EMSTDelaunay2D requires MetricL2 and 2D points.
+func (ix *Index) EMSTWithAlgorithm(algo EMSTAlgorithm) ([]Edge, error) {
+	return ix.emstWithStats(algo, nil)
+}
+
+func (ix *Index) emstWithStats(algo EMSTAlgorithm, stats *Stats) ([]Edge, error) {
+	if ix.N() <= 1 {
+		return nil, nil
+	}
+	ea, err := emstAlgoFor(algo)
+	if err != nil {
+		return nil, err
+	}
+	if algo == EMSTDelaunay2D {
+		if ix.metric != MetricL2 {
+			return nil, fmt.Errorf("parclust: %v requires the l2 metric, got %v", algo, ix.metric)
+		}
+		if ix.Dim() != 2 {
+			return nil, fmt.Errorf("parclust: %v requires 2D points, got %dD", algo, ix.Dim())
+		}
+	}
+	return ix.eng.EMST(ea, stats), nil
+}
+
+// DBSCANStar computes the flat DBSCAN* clustering at (minPts, eps) over
+// the shared tree: repeated queries never rebuild it, only the per-call
+// range queries run. For sweeps over many eps at one minPts,
+// HDBSCAN(minPts) followed by ClustersAt is cheaper still (each cut is
+// near-O(n) off the precomputed merge order).
+func (ix *Index) DBSCANStar(minPts int, eps float64) (Clustering, error) {
+	r, done, err := ix.dbscanStar(minPts, eps)
+	if err != nil || done {
+		return r, err
+	}
+	res := ix.dbscanResult(minPts, eps)
+	return Clustering{Labels: res.Labels, NumClusters: res.NumClusters}, nil
+}
+
+// DBSCAN computes the original Ester et al. clustering (DBSCAN* plus
+// border-point attachment) at (minPts, eps) over the shared tree.
+func (ix *Index) DBSCAN(minPts int, eps float64) (Clustering, error) {
+	r, done, err := ix.dbscanStar(minPts, eps)
+	if err != nil || done {
+		return r, err
+	}
+	res := dbscan.AttachBorders(ix.eng.Tree(nil), ix.dbscanResult(minPts, eps), eps)
+	return Clustering{Labels: res.Labels, NumClusters: res.NumClusters}, nil
+}
+
+// dbscanStar handles the validation and degenerate cases shared by DBSCAN
+// and DBSCANStar; done reports that the returned clustering is final.
+func (ix *Index) dbscanStar(minPts int, eps float64) (Clustering, bool, error) {
+	if minPts < 1 || eps < 0 || math.IsNaN(eps) {
+		return Clustering{}, false, fmt.Errorf("parclust: invalid minPts=%d or eps=%v", minPts, eps)
+	}
+	if minPts > ix.N() {
+		// No point can have minPts neighbors: everything is noise, and
+		// border attachment has no clusters to attach to.
+		return allNoise(ix.N()), true, nil
+	}
+	return Clustering{}, false, nil
+}
+
+// dbscanResult runs the core-point DBSCAN* computation over the shared
+// tree. Core flags come from range counts — the definition every DBSCAN
+// entry point has always used — not from the sqrt'd memoized core
+// distances, whose double rounding could flip boundary-eps cases.
+func (ix *Index) dbscanResult(minPts int, eps float64) dbscan.Result {
+	t := ix.eng.Tree(nil)
+	return dbscan.StarWithCore(t, dbscan.CoreByRangeCount(t, minPts, eps), eps)
+}
+
+// OPTICS computes the classic sequential OPTICS ordering at (minPts, eps)
+// over the shared tree and memoized core distances.
+func (ix *Index) OPTICS(minPts int, eps float64) ([]OPTICSEntry, error) {
+	if minPts < 1 {
+		return nil, fmt.Errorf("parclust: invalid minPts=%d", minPts)
+	}
+	if math.IsNaN(eps) || eps < 0 {
+		return nil, fmt.Errorf("parclust: invalid eps=%v", eps)
+	}
+	if ix.N() == 0 {
+		return nil, nil
+	}
+	t := ix.eng.Tree(nil)
+	cd := ix.eng.CoreDist(minPts, nil)
+	return optics.RunOnTree(t, cd, eps, false), nil
+}
+
+// KNN returns the k nearest neighbors of the indexed point with original id
+// q (including q itself), sorted by increasing tree-metric distance, over
+// the shared tree.
+func (ix *Index) KNN(q int32, k int) ([]Neighbor, error) {
+	if q < 0 || int(q) >= ix.N() {
+		return nil, fmt.Errorf("parclust: point id %d out of range [0, %d)", q, ix.N())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("parclust: k must be >= 1, got %d", k)
+	}
+	return ix.eng.Tree(nil).KNN(q, k), nil
+}
+
+// RangeQuery returns the original ids of all indexed points within
+// tree-metric distance r of the point with original id q (including q
+// itself), in no particular order.
+func (ix *Index) RangeQuery(q int32, r float64) ([]int32, error) {
+	if q < 0 || int(q) >= ix.N() {
+		return nil, fmt.Errorf("parclust: point id %d out of range [0, %d)", q, ix.N())
+	}
+	if r < 0 || math.IsNaN(r) {
+		return nil, fmt.Errorf("parclust: invalid radius %v", r)
+	}
+	return ix.eng.Tree(nil).RangeQuery(q, r), nil
+}
+
+// RangeCount returns the number of indexed points within tree-metric
+// distance r of the point with original id q (including q itself).
+func (ix *Index) RangeCount(q int32, r float64) (int, error) {
+	if q < 0 || int(q) >= ix.N() {
+		return 0, fmt.Errorf("parclust: point id %d out of range [0, %d)", q, ix.N())
+	}
+	if r < 0 || math.IsNaN(r) {
+		return 0, fmt.Errorf("parclust: invalid radius %v", r)
+	}
+	return ix.eng.Tree(nil).RangeCount(q, r), nil
+}
+
+// CoreDistances returns the memoized per-point core distances for minPts
+// (the distance to the minPts-th nearest neighbor counting the point
+// itself), in original id order. The returned slice is shared and must be
+// treated as read-only.
+func (ix *Index) CoreDistances(minPts int) ([]float64, error) {
+	if minPts < 1 {
+		return nil, fmt.Errorf("parclust: minPts must be >= 1, got %d", minPts)
+	}
+	if n := ix.N(); minPts > n && n > 0 {
+		return nil, fmt.Errorf("parclust: minPts=%d exceeds number of points %d", minPts, n)
+	}
+	return ix.eng.CoreDist(minPts, nil), nil
+}
+
+func allNoise(n int) Clustering {
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	return Clustering{Labels: labels, NumClusters: 0}
+}
+
+// emstAlgoFor maps the public EMST algorithm constants to the engine's.
+func emstAlgoFor(algo EMSTAlgorithm) (engine.EMSTAlgo, error) {
+	switch algo {
+	case EMSTMemoGFK:
+		return engine.EMSTMemoGFK, nil
+	case EMSTGFK:
+		return engine.EMSTGFK, nil
+	case EMSTNaive:
+		return engine.EMSTNaive, nil
+	case EMSTBoruvka:
+		return engine.EMSTBoruvka, nil
+	case EMSTDelaunay2D:
+		return engine.EMSTDelaunay2D, nil
+	case EMSTWSPDBoruvka:
+		return engine.EMSTWSPDBoruvka, nil
+	default:
+		return 0, fmt.Errorf("parclust: unknown EMST algorithm %v", algo)
+	}
+}
+
+// hdbscanAlgoFor maps the public HDBSCAN algorithm constants to the
+// internal package's.
+func hdbscanAlgoFor(algo HDBSCANAlgorithm) (hdbscan.Algorithm, error) {
+	switch algo {
+	case HDBSCANMemoGFK:
+		return hdbscan.MemoGFK, nil
+	case HDBSCANGanTao:
+		return hdbscan.GanTao, nil
+	case HDBSCANGanTaoFull:
+		return hdbscan.GanTaoFull, nil
+	default:
+		return 0, fmt.Errorf("parclust: unknown HDBSCAN algorithm %v", algo)
+	}
+}

@@ -1,0 +1,143 @@
+package parclust
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestIndexConcurrentStress hammers one shared Index from 8 goroutines with
+// a mix of HDBSCAN (two minPts values), DBSCAN/DBSCAN*, flat cuts, OPTICS,
+// EMST, and KNN/range queries, verifying every result against a fresh
+// one-shot computation. Run under -race it is the memory-safety proof of
+// the shared-Index concurrency contract: stage computation serialized,
+// published stages read lock-free, pure reads concurrent with in-flight
+// stage computation.
+func TestIndexConcurrentStress(t *testing.T) {
+	n := 1200
+	iters := 6
+	if testing.Short() {
+		n, iters = 600, 3
+	}
+	pts := GenerateVarden(n, 2, 31)
+	idx, err := NewIndex(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference results from fresh one-shot computations.
+	const eps = 2.0
+	wantH := map[int]*Hierarchy{}
+	wantCut := map[int]Clustering{}
+	for _, mp := range []int{5, 15} {
+		h, err := HDBSCAN(pts, mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantH[mp] = h
+		wantCut[mp] = h.ClustersAt(eps)
+	}
+	wantStar, err := DBSCANStar(pts, 5, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDB, err := DBSCAN(pts, 5, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEMST, err := EMST(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOPTICS, err := OPTICS(pts, 5, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	fail := func(format string, args ...any) {
+		t.Errorf(format, args...)
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				switch (g + it) % 6 {
+				case 0, 1:
+					mp := []int{5, 15}[(g+it)%2]
+					h, err := idx.HDBSCAN(mp)
+					if err != nil {
+						fail("HDBSCAN(%d): %v", mp, err)
+						return
+					}
+					if !reflect.DeepEqual(h.MST, wantH[mp].MST) {
+						fail("HDBSCAN(%d): MST mismatch under concurrency", mp)
+						return
+					}
+					if !reflect.DeepEqual(h.ClustersAt(eps), wantCut[mp]) {
+						fail("HDBSCAN(%d): cut mismatch under concurrency", mp)
+						return
+					}
+				case 2:
+					c, err := idx.DBSCANStar(5, eps)
+					if err != nil || !reflect.DeepEqual(c, wantStar) {
+						fail("DBSCANStar mismatch under concurrency (err %v)", err)
+						return
+					}
+				case 3:
+					c, err := idx.DBSCAN(5, eps)
+					if err != nil || !reflect.DeepEqual(c, wantDB) {
+						fail("DBSCAN mismatch under concurrency (err %v)", err)
+						return
+					}
+				case 4:
+					q := int32((g*131 + it*17) % n)
+					nb, err := idx.KNN(q, 8)
+					if err != nil || len(nb) != 8 || nb[0].Idx != q {
+						fail("KNN(%d): err %v, %d results", q, err, len(nb))
+						return
+					}
+					// The sqrt->square roundtrip can exclude the k-th
+					// neighbor itself, so check query/count consistency
+					// rather than an exact count.
+					ids, err := idx.RangeQuery(q, nb[7].Dist)
+					if err != nil {
+						fail("RangeQuery(%d): %v", q, err)
+						return
+					}
+					cnt, err := idx.RangeCount(q, nb[7].Dist)
+					if err != nil || cnt != len(ids) || cnt < 1 {
+						fail("RangeCount(%d): %d vs %d ids (err %v)", q, cnt, len(ids), err)
+						return
+					}
+				case 5:
+					if it%2 == 0 {
+						edges, err := idx.EMST()
+						if err != nil || !reflect.DeepEqual(edges, wantEMST) {
+							fail("EMST mismatch under concurrency (err %v)", err)
+							return
+						}
+					} else {
+						o, err := idx.OPTICS(5, eps)
+						if err != nil || !reflect.DeepEqual(o, wantOPTICS) {
+							fail("OPTICS mismatch under concurrency (err %v)", err)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	s := idx.Stats()
+	if s.TreeBuilds != 1 {
+		t.Fatalf("concurrent stress built the tree %d times, want 1", s.TreeBuilds)
+	}
+	if s.MSTBuilds > 3 { // HDBSCAN minPts {5,15} + EMST
+		t.Fatalf("concurrent stress ran %d MST builds, want <= 3", s.MSTBuilds)
+	}
+}

@@ -38,15 +38,29 @@ func DBSCANStar(pts geometry.Points, minPts int, eps float64) Result {
 // arbitrary metric kernel.
 func DBSCANStarMetric(pts geometry.Points, minPts int, eps float64, m metric.Metric) Result {
 	t := kdtree.BuildMetric(pts, 16, m)
-	return dbscanStarOnTree(t, minPts, eps)
+	return StarWithCore(t, CoreByRangeCount(t, minPts, eps), eps)
 }
 
-func dbscanStarOnTree(t *kdtree.Tree, minPts int, eps float64) Result {
-	n := t.Pts.N
-	core := make([]bool, n)
-	parallel.For(n, 32, func(i int) {
+// CoreByRangeCount computes the core flags by definition over a prebuilt
+// tree: at least minPts neighbors within eps, counting the point itself.
+// On the L2 path the comparison happens in squared space (RangeCount), the
+// exact semantics every DBSCAN entry point has always used — deriving core
+// flags from sqrt'd core distances instead would flip boundary cases via
+// double rounding.
+func CoreByRangeCount(t *kdtree.Tree, minPts int, eps float64) []bool {
+	core := make([]bool, t.Pts.N)
+	parallel.For(t.Pts.N, 32, func(i int) {
 		core[i] = t.RangeCount(int32(i), eps) >= minPts
 	})
+	return core
+}
+
+// StarWithCore computes the DBSCAN* clustering over a prebuilt tree given
+// the core flags: clusters are the eps-connected components of core points,
+// everything else is noise. Labels are numbered in first-seen point order,
+// so the result is independent of the tree's leaf size or traversal order.
+func StarWithCore(t *kdtree.Tree, core []bool, eps float64) Result {
+	n := t.Pts.N
 	// Connect core points within eps. Neighbor lists are computed in
 	// parallel; unions are applied sequentially (they are cheap relative
 	// to the queries).
@@ -100,12 +114,21 @@ func DBSCAN(pts geometry.Points, minPts int, eps float64) Result {
 // under an arbitrary metric kernel.
 func DBSCANMetric(pts geometry.Points, minPts int, eps float64, m metric.Metric) Result {
 	t := kdtree.BuildMetric(pts, 16, m)
-	res := dbscanStarOnTree(t, minPts, eps)
-	n := pts.N
-	// Attach border points: nearest core neighbor within eps. The L2 tree
-	// compares squared distances (the seed behavior); other kernels compare
-	// tree-metric distances — both orders are monotone-equivalent.
-	dist := func(i int, j int32) float64 { return pts.SqDist(i, int(j)) }
+	return AttachBorders(t, StarWithCore(t, CoreByRangeCount(t, minPts, eps), eps), eps)
+}
+
+// AttachBorders upgrades a DBSCAN* result to the original Ester et al.
+// DBSCAN: non-core points within eps of a core point are assigned to the
+// cluster of their nearest core neighbor (smallest distance, ties toward
+// the smaller id, so the result is deterministic). eps must be the radius
+// the Star result was computed at; the labels slice is updated in place and
+// res returned for convenience.
+func AttachBorders(t *kdtree.Tree, res Result, eps float64) Result {
+	n := t.Pts.N
+	// The L2 tree compares squared distances (the seed behavior); other
+	// kernels compare tree-metric distances — both orders are
+	// monotone-equivalent.
+	dist := func(i int, j int32) float64 { return t.Pts.SqDist(int(t.Inv[int32(i)]), int(t.Inv[j])) }
 	maxD := eps * eps
 	if !t.IsL2() {
 		dist = func(i int, j int32) float64 { return t.PairDist(int32(i), j) }

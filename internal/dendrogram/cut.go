@@ -1,0 +1,147 @@
+package dendrogram
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"parclust/internal/mst"
+	"parclust/internal/unionfind"
+)
+
+// Cutter answers repeated flat cuts over one spanning tree. Construction
+// precomputes the sorted merge order once — the merge forest the sorted
+// edges induce, plus the sorted core distances — so every subsequent
+// CutAt(eps) runs in O(n) with a binary search selecting the merge prefix
+// (no per-query union-find, no edge re-walk) and NumNoiseAt(eps) runs in
+// O(log n). It is the single implementation behind Hierarchy.ClustersAt
+// and Hierarchy.NumNoiseAt; CutTree remains only as the from-the-definition
+// reference the tests diff against.
+//
+// A Cutter is immutable after construction and safe for concurrent use; it
+// keeps a reference to coreDist, which callers must not mutate.
+type Cutter struct {
+	n int
+	// heights[j] is the weight of merge j; ascending. left/right[j] are the
+	// merge-forest children (ids < n are points, n+i is merge i).
+	heights []float64
+	left    []int32
+	right   []int32
+	// coreDist is in point order (nil: every point is core); sortedCD is
+	// its ascending copy for O(log n) noise counts.
+	coreDist []float64
+	sortedCD []float64
+
+	scratch sync.Pool // *cutScratch, reused across queries
+}
+
+type cutScratch struct {
+	comp []int32 // node id -> partial-forest root id
+	id   []int32 // root id -> dense cluster label (-1 unseen)
+}
+
+// NewCutter precomputes the cut structure for the spanning tree (or forest)
+// edges with the given per-point core distances (nil treats every point as
+// core, the single-linkage semantics). Edges already sorted by the shared
+// mst.Less total order — the order Kruskal emits — are used as-is; anything
+// else is copied and sorted. The input slices are never mutated.
+func NewCutter(n int, edges []mst.Edge, coreDist []float64) *Cutter {
+	sorted := edges
+	for i := 1; i < len(sorted); i++ {
+		if mst.Less(sorted[i], sorted[i-1]) {
+			sorted = append([]mst.Edge(nil), edges...)
+			sort.Slice(sorted, func(a, b int) bool { return mst.Less(sorted[a], sorted[b]) })
+			break
+		}
+	}
+	c := &Cutter{
+		n:        n,
+		heights:  make([]float64, 0, len(sorted)),
+		left:     make([]int32, 0, len(sorted)),
+		right:    make([]int32, 0, len(sorted)),
+		coreDist: coreDist,
+	}
+	// Replay the merges once: cur[root] is the forest node currently
+	// representing root's component.
+	uf := unionfind.New(n)
+	cur := make([]int32, n)
+	for i := range cur {
+		cur[i] = int32(i)
+	}
+	for _, e := range sorted {
+		ru, rv := uf.Find(e.U), uf.Find(e.V)
+		if ru == rv {
+			continue // not a tree edge; harmless to skip
+		}
+		id := int32(n + len(c.heights))
+		c.heights = append(c.heights, e.W)
+		c.left = append(c.left, cur[ru])
+		c.right = append(c.right, cur[rv])
+		uf.Union(e.U, e.V)
+		cur[uf.Find(e.U)] = id
+	}
+	if coreDist != nil {
+		c.sortedCD = append([]float64(nil), coreDist...)
+		sort.Float64s(c.sortedCD)
+	}
+	c.scratch.New = func() any { return &cutScratch{} }
+	return c
+}
+
+// N returns the number of points the Cutter was built over.
+func (c *Cutter) N() int { return c.n }
+
+// CutAt extracts the flat DBSCAN* clustering at radius eps: points whose
+// core distance exceeds eps are noise; the remaining points are grouped by
+// the precomputed merges of height at most eps. Labels are numbered in
+// first-seen point order, exactly matching CutTree.
+func (c *Cutter) CutAt(eps float64) Clustering {
+	labels := make([]int32, c.n)
+	k := 0
+	if !math.IsNaN(eps) { // NaN admits no merge (matches e.W <= eps)
+		k = sort.Search(len(c.heights), func(i int) bool { return c.heights[i] > eps })
+	}
+	s := c.scratch.Get().(*cutScratch)
+	defer c.scratch.Put(s)
+	tot := c.n + k
+	if cap(s.comp) < tot {
+		s.comp = make([]int32, tot)
+		s.id = make([]int32, tot)
+	}
+	comp, id := s.comp[:tot], s.id[:tot]
+	for i := range comp {
+		comp[i] = int32(i)
+		id[i] = -1
+	}
+	// Propagate each applied merge's component id down to its children;
+	// scanning ids descending resolves parents before children.
+	for x := tot - 1; x >= c.n; x-- {
+		cc := comp[x]
+		comp[c.left[x-c.n]] = cc
+		comp[c.right[x-c.n]] = cc
+	}
+	next := int32(0)
+	for i := 0; i < c.n; i++ {
+		if c.coreDist != nil && c.coreDist[i] > eps {
+			labels[i] = -1
+			continue
+		}
+		r := comp[i]
+		if id[r] < 0 {
+			id[r] = next
+			next++
+		}
+		labels[i] = id[r]
+	}
+	return Clustering{Labels: labels, NumClusters: int(next)}
+}
+
+// NumNoiseAt returns the number of noise points at radius eps — the count
+// of core distances exceeding eps — by binary search over the sorted core
+// distances.
+func (c *Cutter) NumNoiseAt(eps float64) int {
+	if c.sortedCD == nil {
+		return 0
+	}
+	return c.n - sort.Search(len(c.sortedCD), func(i int) bool { return c.sortedCD[i] > eps })
+}

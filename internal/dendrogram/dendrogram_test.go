@@ -211,12 +211,12 @@ func TestSizesAndParents(t *testing.T) {
 	}
 }
 
-func TestCutMatchesCutTree(t *testing.T) {
+func TestCutterMatchesCutTree(t *testing.T) {
 	pts := randPoints(200, 2, 12)
 	edges := emstOf(pts)
-	d := BuildSequential(pts.N, edges, 0)
+	c := NewCutter(pts.N, edges, nil)
 	for _, eps := range []float64{0, 1, 3, 10, 1e9} {
-		a := d.Cut(eps, nil)
+		a := c.CutAt(eps)
 		b := CutTree(pts.N, edges, nil, eps)
 		if a.NumClusters != b.NumClusters {
 			t.Fatalf("eps=%v: %d vs %d clusters", eps, a.NumClusters, b.NumClusters)

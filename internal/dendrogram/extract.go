@@ -136,6 +136,10 @@ type Clustering struct {
 // most eps (Section 2.1). Pass nil core distances (or minPts <= 1
 // semantics) to treat every point as core, which yields the single-linkage
 // clustering of the EMST at distance eps.
+//
+// CutTree re-runs a union-find over every edge per call; it is the
+// from-the-definition reference the tests diff Cutter against. Production
+// callers answering repeated cuts should build a Cutter once instead.
 func CutTree(n int, edges []mst.Edge, coreDist []float64, eps float64) Clustering {
 	uf := unionfind.New(n)
 	for _, e := range edges {
@@ -156,43 +160,6 @@ func CutTree(n int, edges []mst.Edge, coreDist []float64, eps float64) Clusterin
 		if !ok {
 			c = next
 			id[r] = c
-			next++
-		}
-		labels[i] = c
-	}
-	return Clustering{Labels: labels, NumClusters: int(next)}
-}
-
-// Cut extracts the flat clustering at height eps directly from the
-// dendrogram: maximal subtrees whose merge height is at most eps become
-// clusters. Points with core distance above eps are noise (pass nil to
-// treat all points as core).
-func (d *Dendrogram) Cut(eps float64, coreDist []float64) Clustering {
-	labels := make([]int32, d.N)
-	comp := make([]int32, d.N+d.NumInternal())
-	// Assign each node the id of its highest ancestor with height <= eps
-	// (itself if none); scan ids descending so parents resolve first.
-	for i := range comp {
-		comp[i] = int32(i)
-	}
-	for x := d.N + d.NumInternal() - 1; x >= d.N; x-- {
-		if d.Height[x-d.N] <= eps {
-			l, r := d.Left[x-d.N], d.Right[x-d.N]
-			comp[l] = comp[x]
-			comp[r] = comp[x]
-		}
-	}
-	next := int32(0)
-	id := make(map[int32]int32, d.N)
-	for i := 0; i < d.N; i++ {
-		if coreDist != nil && coreDist[i] > eps {
-			labels[i] = -1
-			continue
-		}
-		c, ok := id[comp[i]]
-		if !ok {
-			c = next
-			id[comp[i]] = c
 			next++
 		}
 		labels[i] = c

@@ -8,7 +8,7 @@ import "math"
 // (stability), and select the set of non-overlapping clusters maximizing
 // total stability. This is the standard "automatic" flat clustering the
 // HDBSCAN* hierarchy exists to support, complementing the fixed-radius
-// Cut/CutTree extraction.
+// Cutter/CutTree extraction.
 
 // CondensedCluster is one node of the condensed cluster tree.
 type CondensedCluster struct {

@@ -1,0 +1,399 @@
+// Package engine is the staged pipeline behind the public parclust.Index:
+// it decomposes the clustering call chain into explicit stages —
+//
+//	tree ──> coreDist(minPts) ──> mst(kind, algo, minPts) ──> dendrogram+cut
+//
+// — memoizes every stage output keyed on its parameters, and shares the
+// expensive upstream stages across queries. A parameter change recomputes
+// only its own stage and the stages downstream of it: a new minPts reuses
+// the tree and recomputes core distances + MST; a new MST algorithm reuses
+// the tree and core distances; an eps change touches nothing but the
+// precomputed cut structure.
+//
+// # Concurrency
+//
+// Stage outputs are immutable once published and may be read from any
+// goroutine. Stage computation is serialized by a per-engine build mutex,
+// because MST runs mutate the shared tree's transient annotations (the
+// per-minPts CDMin/CDMax core-distance bounds and the per-round union-find
+// component labels); publication happens under a registry RW-mutex, so a
+// memoized result is read lock-free of the build path. Pure read queries
+// (k-NN, range, DBSCAN component formation, OPTICS) traverse only the
+// tree's immutable structure — nodes' boxes, the kd-ordered rows, and the
+// Orig/Inv permutations — and therefore run concurrently with each other
+// and with an in-flight MST computation (which writes only the disjoint
+// annotation fields). Per-round MST buffers come from a process-wide
+// sync.Pool of mst.Workspace, never from engine state, so a run leaves no
+// mutable scratch behind on the engine.
+package engine
+
+import (
+	"sync"
+
+	"parclust/internal/delaunay"
+	"parclust/internal/dendrogram"
+	"parclust/internal/geometry"
+	"parclust/internal/hdbscan"
+	"parclust/internal/kdtree"
+	"parclust/internal/metric"
+	"parclust/internal/mst"
+	"parclust/internal/wspd"
+)
+
+// EMSTAlgo selects the EMST variant; values mirror the public
+// parclust.EMSTAlgorithm constants.
+type EMSTAlgo uint8
+
+const (
+	EMSTMemoGFK EMSTAlgo = iota
+	EMSTGFK
+	EMSTNaive
+	EMSTBoruvka
+	EMSTDelaunay2D
+	EMSTWSPDBoruvka
+)
+
+// Kind distinguishes the two MST stage families: plain metric MSTs (EMST)
+// and mutual-reachability MSTs (HDBSCAN*).
+type Kind uint8
+
+const (
+	KindEMST Kind = iota
+	KindHDBSCAN
+)
+
+// mstKey identifies one memoized MST stage output. For KindEMST, Algo is an
+// EMSTAlgo and MinPts is 0; for KindHDBSCAN, Algo is an hdbscan.Algorithm.
+type mstKey struct {
+	Kind   Kind
+	Algo   uint8
+	MinPts int
+}
+
+// HierStage is a memoized hierarchy stage output: the MST, the ordered
+// dendrogram built from it, and the lazily-built cut structure. All fields
+// are immutable after publication; CoreDist is nil for single-linkage
+// hierarchies.
+type HierStage struct {
+	N        int
+	MST      []mst.Edge
+	CoreDist []float64
+	MinPts   int
+	Dendro   *dendrogram.Dendrogram
+
+	cutOnce sync.Once
+	cutter  *dendrogram.Cutter
+}
+
+// Cutter returns the stage's precomputed cut structure, building it on
+// first use (safe for concurrent callers).
+func (h *HierStage) Cutter() *dendrogram.Cutter {
+	h.cutOnce.Do(func() {
+		h.cutter = dendrogram.NewCutter(h.N, h.MST, h.CoreDist)
+	})
+	return h.cutter
+}
+
+// wsPool shares MST round workspaces across engines and runs: a run checks
+// one out for its duration (runs are serialized per engine by buildMu, and
+// workspaces never alias returned results), so engines hold no per-instance
+// mutable scratch.
+var wsPool = sync.Pool{New: func() any { return mst.NewWorkspace() }}
+
+// Engine memoizes the staged clustering pipeline over one immutable
+// prepared point set. Use New, then query stages; all methods are safe for
+// concurrent use.
+type Engine struct {
+	// Pts is the prepared point set (validated, and unit-normalized for the
+	// angular kernel). It must never be mutated.
+	Pts geometry.Points
+	// Kern is the distance kernel every stage runs under.
+	Kern metric.Metric
+
+	// buildMu serializes stage computation: MST runs annotate the shared
+	// tree (core-distance bounds, per-round component labels), so at most
+	// one computation may be in flight. Reads of published stages never
+	// take it.
+	buildMu sync.Mutex
+	// regMu guards the memo registry below. Write-locked only to publish a
+	// finished stage; read-locked on every lookup.
+	regMu sync.RWMutex
+
+	tree  *kdtree.Tree
+	cores map[int][]float64 // minPts -> core distances, original-id order
+	msts  map[mstKey][]mst.Edge
+	hiers map[mstKey]*HierStage
+
+	// annotated is the minPts the tree's CDMin/CDMax annotations currently
+	// reflect (0: none). Guarded by buildMu.
+	annotated int
+
+	c counters
+}
+
+// New returns an engine over the prepared points. The caller has already
+// validated pts and normalized it for the kernel; the engine takes
+// ownership in the sense that pts must not be mutated afterwards.
+func New(pts geometry.Points, kern metric.Metric) *Engine {
+	return &Engine{
+		Pts:   pts,
+		Kern:  kern,
+		cores: make(map[int][]float64),
+		msts:  make(map[mstKey][]mst.Edge),
+		hiers: make(map[mstKey]*HierStage),
+	}
+}
+
+// N returns the number of indexed points.
+func (e *Engine) N() int { return e.Pts.N }
+
+// Tree returns the shared k-d tree, building it on first use. stats (which
+// may be nil) receives the "build-tree" phase time on a miss.
+func (e *Engine) Tree(stats *mst.Stats) *kdtree.Tree {
+	e.regMu.RLock()
+	t := e.tree
+	e.regMu.RUnlock()
+	if t != nil {
+		e.c.treeHits.Add(1)
+		return t
+	}
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	return e.treeLocked(stats)
+}
+
+// treeLocked is the build-mutex-held stage body. The *Locked internals
+// never count cache hits — hits are recorded only at the public entry
+// points, so the counters mean "public queries served from a memoized
+// stage output", not internal plumbing lookups.
+func (e *Engine) treeLocked(stats *mst.Stats) *kdtree.Tree {
+	e.regMu.RLock()
+	t := e.tree
+	e.regMu.RUnlock()
+	if t != nil {
+		return t
+	}
+	stats.Time("build-tree", func() {
+		// Leaf size 1 is required by the WSPD construction and serves every
+		// other stage and query.
+		t = kdtree.BuildMetric(e.Pts, 1, e.Kern)
+	})
+	e.c.treeBuilds.Add(1)
+	e.regMu.Lock()
+	e.tree = t
+	e.regMu.Unlock()
+	return t
+}
+
+// CoreDist returns the core distances for minPts in original-id order,
+// computing (and memoizing) them on first use. The returned slice is shared
+// and must not be mutated.
+func (e *Engine) CoreDist(minPts int, stats *mst.Stats) []float64 {
+	e.regMu.RLock()
+	cd, ok := e.cores[minPts]
+	e.regMu.RUnlock()
+	if ok {
+		e.c.coreHits.Add(1)
+		return cd
+	}
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	return e.coreDistLocked(minPts, stats)
+}
+
+func (e *Engine) coreDistLocked(minPts int, stats *mst.Stats) []float64 {
+	e.regMu.RLock()
+	cd, ok := e.cores[minPts]
+	e.regMu.RUnlock()
+	if ok {
+		return cd
+	}
+	t := e.treeLocked(stats)
+	stats.Time("core-dist", func() {
+		cd = t.CoreDistances(minPts)
+	})
+	e.c.coreBuilds.Add(1)
+	e.regMu.Lock()
+	e.cores[minPts] = cd
+	e.regMu.Unlock()
+	return cd
+}
+
+// annotateLocked installs minPts's core-distance annotations on the shared
+// tree if they are not already in place (buildMu held).
+func (e *Engine) annotateLocked(minPts int, cd []float64, stats *mst.Stats) {
+	if e.annotated == minPts {
+		return
+	}
+	t := e.treeLocked(stats)
+	stats.Time("core-dist", func() {
+		t.AnnotateCoreDists(cd)
+	})
+	e.annotated = minPts
+}
+
+func (e *Engine) lookupMST(key mstKey) ([]mst.Edge, bool) {
+	e.regMu.RLock()
+	edges, ok := e.msts[key]
+	e.regMu.RUnlock()
+	return edges, ok
+}
+
+func (e *Engine) storeMST(key mstKey, edges []mst.Edge) {
+	e.c.mstBuilds.Add(1)
+	e.regMu.Lock()
+	e.msts[key] = edges
+	e.regMu.Unlock()
+}
+
+// EMST returns the memoized MST of the point set under the engine's kernel
+// with the selected algorithm. Delaunay preconditions (2D, L2) are the
+// caller's responsibility. An input of fewer than two points yields nil
+// without building anything (the one-shot API contract).
+func (e *Engine) EMST(algo EMSTAlgo, stats *mst.Stats) []mst.Edge {
+	if e.Pts.N <= 1 {
+		return nil
+	}
+	key := mstKey{Kind: KindEMST, Algo: uint8(algo)}
+	if edges, ok := e.lookupMST(key); ok {
+		e.c.mstHits.Add(1)
+		return edges
+	}
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	return e.emstLocked(key, algo, stats)
+}
+
+func (e *Engine) emstLocked(key mstKey, algo EMSTAlgo, stats *mst.Stats) []mst.Edge {
+	if e.Pts.N <= 1 {
+		return nil // nothing to span; matches the one-shot early return
+	}
+	if edges, ok := e.lookupMST(key); ok {
+		return edges
+	}
+	var edges []mst.Edge
+	if algo == EMSTDelaunay2D {
+		edges = delaunay.EMST(e.Pts, stats)
+		e.storeMST(key, edges)
+		return edges
+	}
+	t := e.treeLocked(stats)
+	ws := wsPool.Get().(*mst.Workspace)
+	defer wsPool.Put(ws)
+	if algo == EMSTBoruvka {
+		edges = mst.BoruvkaWS(t, stats, ws)
+		e.storeMST(key, edges)
+		return edges
+	}
+	cfg := mst.Config{Tree: t, Metric: edgeMetricFor(t), Sep: separationFor(e.Kern), Stats: stats, WS: ws}
+	switch algo {
+	case EMSTMemoGFK:
+		edges = mst.MemoGFK(cfg)
+	case EMSTGFK:
+		edges = mst.GFK(cfg)
+	case EMSTNaive:
+		edges = mst.Naive(cfg)
+	case EMSTWSPDBoruvka:
+		edges = mst.WSPDBoruvka(cfg)
+	default:
+		panic("engine: unknown EMST algorithm")
+	}
+	e.storeMST(key, edges)
+	return edges
+}
+
+// HDBSCANMST returns the memoized MST of the mutual-reachability graph for
+// minPts with the selected algorithm, together with the memoized core
+// distances. minPts has been validated by the caller (>= 1, <= N for
+// non-empty inputs).
+func (e *Engine) HDBSCANMST(minPts int, algo hdbscan.Algorithm, stats *mst.Stats) ([]mst.Edge, []float64) {
+	key := mstKey{Kind: KindHDBSCAN, Algo: uint8(algo), MinPts: minPts}
+	if edges, ok := e.lookupMST(key); ok {
+		e.regMu.RLock()
+		cd := e.cores[minPts]
+		e.regMu.RUnlock()
+		if cd != nil {
+			e.c.mstHits.Add(1)
+			return edges, cd
+		}
+	}
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	return e.hdbscanMSTLocked(key, minPts, algo, stats)
+}
+
+func (e *Engine) hdbscanMSTLocked(key mstKey, minPts int, algo hdbscan.Algorithm, stats *mst.Stats) ([]mst.Edge, []float64) {
+	cd := e.coreDistLocked(minPts, stats)
+	if edges, ok := e.lookupMST(key); ok {
+		return edges, cd
+	}
+	t := e.treeLocked(stats)
+	e.annotateLocked(minPts, cd, stats)
+	ws := wsPool.Get().(*mst.Workspace)
+	defer wsPool.Put(ws)
+	edges := hdbscan.MSTOnAnnotatedTree(t, algo, e.Kern, ws, stats)
+	e.storeMST(key, edges)
+	return edges, cd
+}
+
+// Hierarchy returns the memoized hierarchy stage — MST, ordered dendrogram
+// (start vertex 0), and cut structure — for the given MST stage. For
+// KindEMST the algorithm is an EMSTAlgo and CoreDist is nil (single-linkage
+// semantics); for KindHDBSCAN it is an hdbscan.Algorithm.
+func (e *Engine) Hierarchy(kind Kind, algo uint8, minPts int, stats *mst.Stats) *HierStage {
+	key := mstKey{Kind: kind, Algo: algo, MinPts: minPts}
+	if kind == KindEMST {
+		key.MinPts = 0
+	}
+	e.regMu.RLock()
+	st := e.hiers[key]
+	e.regMu.RUnlock()
+	if st != nil {
+		e.c.hierHits.Add(1)
+		return st
+	}
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	e.regMu.RLock()
+	st = e.hiers[key]
+	e.regMu.RUnlock()
+	if st != nil {
+		return st
+	}
+	var edges []mst.Edge
+	var cd []float64
+	if kind == KindEMST {
+		edges = e.emstLocked(key, EMSTAlgo(algo), stats)
+	} else {
+		edges, cd = e.hdbscanMSTLocked(key, minPts, hdbscan.Algorithm(algo), stats)
+	}
+	st = &HierStage{N: e.Pts.N, MST: edges, CoreDist: cd, MinPts: minPts}
+	if st.N > 0 {
+		stats.Time("dendrogram", func() {
+			st.Dendro = dendrogram.BuildParallel(st.N, edges, 0)
+		})
+	}
+	e.c.hierBuilds.Add(1)
+	e.regMu.Lock()
+	e.hiers[key] = st
+	e.regMu.Unlock()
+	return st
+}
+
+// edgeMetricFor adapts the tree's kernel to the MST edge-weight interface
+// over the kd-ordered points, preserving the monomorphized Euclidean fast
+// path.
+func edgeMetricFor(t *kdtree.Tree) kdtree.Metric {
+	if t.IsL2() {
+		return kdtree.NewEuclidean(t)
+	}
+	return kdtree.NewPointDist(t)
+}
+
+// separationFor selects the s=2 geometric well-separation for the kernel.
+func separationFor(kern metric.Metric) wspd.Separation {
+	if metric.IsL2(kern) {
+		return wspd.Geometric{S: 2}
+	}
+	return wspd.MetricGeometric{M: kern, S: 2}
+}

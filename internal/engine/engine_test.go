@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"parclust/internal/geometry"
+	"parclust/internal/hdbscan"
+	"parclust/internal/metric"
+	"parclust/internal/mst"
+)
+
+func randPoints(n, dim int, seed int64) geometry.Points {
+	rng := rand.New(rand.NewSource(seed))
+	p := geometry.NewPoints(n, dim)
+	for i := range p.Data {
+		p.Data[i] = rng.Float64() * 100
+	}
+	return p
+}
+
+func TestStageMemoizationCounters(t *testing.T) {
+	e := New(randPoints(500, 2, 1), metric.L2{})
+	// Three minPts values, each queried twice; the tree must build once,
+	// core distances and MSTs once per minPts.
+	for _, minPts := range []int{3, 7, 12, 3, 7, 12} {
+		edges, cd := e.HDBSCANMST(minPts, hdbscan.MemoGFK, nil)
+		if len(edges) != 499 || len(cd) != 500 {
+			t.Fatalf("minPts=%d: %d edges, %d core distances", minPts, len(edges), len(cd))
+		}
+	}
+	c := e.Counters()
+	if c.TreeBuilds != 1 {
+		t.Fatalf("TreeBuilds = %d, want 1", c.TreeBuilds)
+	}
+	if c.CoreDistBuilds != 3 {
+		t.Fatalf("CoreDistBuilds = %d, want 3", c.CoreDistBuilds)
+	}
+	if c.MSTBuilds != 3 {
+		t.Fatalf("MSTBuilds = %d, want 3", c.MSTBuilds)
+	}
+	if c.MSTHits != 3 {
+		t.Fatalf("MSTHits = %d, want 3", c.MSTHits)
+	}
+	// A different algorithm at a known minPts reuses tree and core
+	// distances but runs a new MST.
+	e.HDBSCANMST(3, hdbscan.GanTao, nil)
+	c = e.Counters()
+	if c.TreeBuilds != 1 || c.CoreDistBuilds != 3 || c.MSTBuilds != 4 {
+		t.Fatalf("after algo change: tree=%d core=%d mst=%d, want 1/3/4",
+			c.TreeBuilds, c.CoreDistBuilds, c.MSTBuilds)
+	}
+	// EMST shares the same tree.
+	if edges := e.EMST(EMSTMemoGFK, nil); len(edges) != 499 {
+		t.Fatalf("EMST edges = %d", len(edges))
+	}
+	if c := e.Counters(); c.TreeBuilds != 1 || c.MSTBuilds != 5 {
+		t.Fatalf("after EMST: tree=%d mst=%d, want 1/5", c.TreeBuilds, c.MSTBuilds)
+	}
+}
+
+func TestHierarchyStageSharedAcrossCalls(t *testing.T) {
+	e := New(randPoints(300, 2, 2), metric.L2{})
+	a := e.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 5, nil)
+	b := e.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 5, nil)
+	if a != b {
+		t.Fatal("equal queries returned distinct hierarchy stages")
+	}
+	if a.Cutter() != b.Cutter() {
+		t.Fatal("cut structure not shared")
+	}
+	c := e.Counters()
+	if c.DendrogramBuilds != 1 || c.DendrogramHits != 1 {
+		t.Fatalf("dendrogram builds=%d hits=%d, want 1/1", c.DendrogramBuilds, c.DendrogramHits)
+	}
+	// Single-linkage is a distinct stage.
+	sl := e.Hierarchy(KindEMST, uint8(EMSTMemoGFK), 1, nil)
+	if sl == a || sl.CoreDist != nil {
+		t.Fatal("single-linkage stage must be distinct with nil core distances")
+	}
+}
+
+func TestMSTResultsMatchFreshEngine(t *testing.T) {
+	// A warm engine (annotations overwritten by interleaved minPts runs)
+	// must produce byte-identical MSTs to fresh ones.
+	pts := randPoints(400, 3, 3)
+	warm := New(pts, metric.L2{})
+	order := []int{9, 2, 9, 5, 2}
+	for _, mp := range order {
+		warm.HDBSCANMST(mp, hdbscan.MemoGFK, nil)
+	}
+	for _, mp := range []int{2, 5, 9} {
+		fresh := New(pts, metric.L2{})
+		we, wcd := warm.HDBSCANMST(mp, hdbscan.MemoGFK, nil)
+		fe, fcd := fresh.HDBSCANMST(mp, hdbscan.MemoGFK, nil)
+		if len(we) != len(fe) {
+			t.Fatalf("minPts=%d: edge count differs", mp)
+		}
+		for i := range we {
+			if we[i] != fe[i] {
+				t.Fatalf("minPts=%d: edge %d differs: %v vs %v", mp, i, we[i], fe[i])
+			}
+		}
+		for i := range wcd {
+			if wcd[i] != fcd[i] {
+				t.Fatalf("minPts=%d: core distance %d differs", mp, i)
+			}
+		}
+	}
+}
+
+func TestConcurrentStageComputation(t *testing.T) {
+	// Eight goroutines race to compute overlapping stages on a cold engine;
+	// every stage must run exactly once per key and all results must agree.
+	pts := randPoints(600, 2, 4)
+	e := New(pts, metric.L2{})
+	want := map[int]float64{}
+	for _, mp := range []int{4, 8} {
+		fresh := New(pts, metric.L2{})
+		edges, _ := fresh.HDBSCANMST(mp, hdbscan.MemoGFK, nil)
+		want[mp] = mst.TotalWeight(edges)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 6; it++ {
+				mp := []int{4, 8}[(g+it)%2]
+				edges, _ := e.HDBSCANMST(mp, hdbscan.MemoGFK, nil)
+				if got := mst.TotalWeight(edges); got != want[mp] {
+					t.Errorf("minPts=%d: weight %v, want %v", mp, got, want[mp])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c := e.Counters()
+	if c.TreeBuilds != 1 || c.CoreDistBuilds != 2 || c.MSTBuilds != 2 {
+		t.Fatalf("concurrent cold start: tree=%d core=%d mst=%d, want 1/2/2",
+			c.TreeBuilds, c.CoreDistBuilds, c.MSTBuilds)
+	}
+}
+
+func TestEMSTTrivialInputs(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		e := New(randPoints(n, 2, 5), metric.L2{})
+		if edges := e.EMST(EMSTMemoGFK, nil); edges != nil {
+			t.Fatalf("n=%d: EMST returned %d edges", n, len(edges))
+		}
+		if c := e.Counters(); c.TreeBuilds != 0 {
+			t.Fatalf("n=%d: trivial EMST built a tree", n)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package engine
+
+import "sync/atomic"
+
+// counters tracks stage cache activity with atomics so hot read paths never
+// take a lock to record a hit.
+type counters struct {
+	treeBuilds atomic.Int64
+	treeHits   atomic.Int64
+	coreBuilds atomic.Int64
+	coreHits   atomic.Int64
+	mstBuilds  atomic.Int64
+	mstHits    atomic.Int64
+	hierBuilds atomic.Int64
+	hierHits   atomic.Int64
+}
+
+// Counters is a point-in-time snapshot of an Engine's stage cache counters.
+// Builds count stage executions (cache misses that ran the computation);
+// Hits count queries answered from a memoized stage output. "Tree was built
+// exactly once" is TreeBuilds == 1.
+type Counters struct {
+	// TreeBuilds / TreeHits: k-d tree constructions vs. reuses.
+	TreeBuilds, TreeHits int64
+	// CoreDistBuilds / CoreDistHits: core-distance computations (one per
+	// distinct minPts) vs. reuses.
+	CoreDistBuilds, CoreDistHits int64
+	// MSTBuilds / MSTHits: MST runs (one per distinct kind x algorithm x
+	// minPts) vs. reuses.
+	MSTBuilds, MSTHits int64
+	// DendrogramBuilds / DendrogramHits: ordered-dendrogram (+ cut
+	// structure) constructions vs. reuses.
+	DendrogramBuilds, DendrogramHits int64
+}
+
+// Counters returns a snapshot of the engine's stage cache counters.
+func (e *Engine) Counters() Counters {
+	return Counters{
+		TreeBuilds:       e.c.treeBuilds.Load(),
+		TreeHits:         e.c.treeHits.Load(),
+		CoreDistBuilds:   e.c.coreBuilds.Load(),
+		CoreDistHits:     e.c.coreHits.Load(),
+		MSTBuilds:        e.c.mstBuilds.Load(),
+		MSTHits:          e.c.mstHits.Load(),
+		DendrogramBuilds: e.c.hierBuilds.Load(),
+		DendrogramHits:   e.c.hierHits.Load(),
+	}
+}

@@ -53,7 +53,6 @@ func BuildMetric(pts geometry.Points, minPts int, algo Algorithm, m metric.Metri
 	if stats == nil {
 		stats = mst.NewStats()
 	}
-	l2 := metric.IsL2(m)
 	var t *kdtree.Tree
 	stats.Time("build-tree", func() {
 		t = kdtree.BuildMetric(pts, 1, m)
@@ -63,27 +62,36 @@ func BuildMetric(pts geometry.Points, minPts int, algo Algorithm, m metric.Metri
 		cd = t.CoreDistances(minPts)
 		t.AnnotateCoreDists(cd)
 	})
+	edges := MSTOnAnnotatedTree(t, algo, m, nil, stats)
+	return Result{MST: edges, CoreDist: cd, Tree: t, Stats: stats}
+}
+
+// MSTOnAnnotatedTree runs the selected HDBSCAN* MST variant over a tree
+// whose core-distance annotations (AnnotateCoreDists) are already in place
+// for the desired minPts — the MST stage of the pipeline, separated so a
+// caller memoizing trees and core distances (internal/engine) can rerun
+// only this stage when minPts changes. ws supplies reusable round buffers
+// (nil for a private workspace); stats may be nil.
+func MSTOnAnnotatedTree(t *kdtree.Tree, algo Algorithm, m metric.Metric, ws *mst.Workspace, stats *mst.Stats) []mst.Edge {
 	// The edge metric runs in the tree's kd-order space (contiguous leaf
-	// scans); cd stays in original id order for the Result.
+	// scans); results are mapped back to original ids by the MST driver.
 	w := kdtree.NewMutualReachability(t)
 	var disjunctive, geometric wspd.Separation
-	if l2 {
+	if metric.IsL2(m) {
 		disjunctive, geometric = wspd.MutualUnreachable{}, wspd.Geometric{S: 2}
 	} else {
 		disjunctive, geometric = wspd.MetricMutualUnreachable{M: m}, wspd.MetricGeometric{M: m, S: 2}
 	}
-	var edges []mst.Edge
 	switch algo {
 	case MemoGFK:
-		edges = mst.MemoGFK(mst.Config{Tree: t, Metric: w, Sep: disjunctive, Stats: stats})
+		return mst.MemoGFK(mst.Config{Tree: t, Metric: w, Sep: disjunctive, Stats: stats, WS: ws})
 	case GanTao:
-		edges = mst.MemoGFK(mst.Config{Tree: t, Metric: w, Sep: geometric, Stats: stats})
+		return mst.MemoGFK(mst.Config{Tree: t, Metric: w, Sep: geometric, Stats: stats, WS: ws})
 	case GanTaoFull:
-		edges = mst.GFK(mst.Config{Tree: t, Metric: w, Sep: geometric, Stats: stats})
+		return mst.GFK(mst.Config{Tree: t, Metric: w, Sep: geometric, Stats: stats, WS: ws})
 	default:
 		panic("hdbscan: unknown algorithm")
 	}
-	return Result{MST: edges, CoreDist: cd, Tree: t, Stats: stats}
 }
 
 // PairCounts reports the number of WSPD pairs generated under the classic

@@ -313,3 +313,27 @@ func TestLinearBetaSchedule(t *testing.T) {
 			cfgLin.Stats.Rounds, cfgDbl.Stats.Rounds)
 	}
 }
+
+func TestWorkspaceReuseAcrossShrinkingRuns(t *testing.T) {
+	// One pooled Workspace serving runs of decreasing size must terminate
+	// and stay correct: a recycled union-find larger than the active point
+	// count previously kept its old component count, so Borůvka's
+	// Components() <= 1 round check never fired (infinite rounds).
+	ws := NewWorkspace()
+	for _, n := range []int{300, 120, 50, 7, 2} {
+		pts := randPoints(n, 2, int64(n))
+		tr := kdtree.Build(pts, 1)
+		got := BoruvkaWS(tr, nil, ws)
+		checkSpanningTree(t, n, got)
+		want := PrimDense(n, func(i, j int32) float64 { return pts.Dist(int(i), int(j)) })
+		if w, ww := TotalWeight(got), TotalWeight(want); math.Abs(w-ww) > 1e-9*(1+ww) {
+			t.Fatalf("n=%d: reused-workspace Borůvka weight %v, want %v", n, w, ww)
+		}
+		cfg := Config{Tree: tr, Metric: kdtree.NewEuclidean(tr), Sep: wspd.Geometric{S: 2}, WS: ws}
+		got = WSPDBoruvka(cfg)
+		checkSpanningTree(t, n, got)
+		cfg.WS = ws
+		got = MemoGFK(cfg)
+		checkSpanningTree(t, n, got)
+	}
+}

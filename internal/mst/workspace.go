@@ -23,12 +23,15 @@ type Workspace struct {
 func NewWorkspace() *Workspace { return &Workspace{} }
 
 // grow sizes the shared buffers for a run over n points and resets the
-// union-find and the reduction slots.
+// union-find and the reduction slots. A recycled union-find larger than n
+// is reset to a logical size of n, so component counting (and the
+// Components() <= 1 round-termination checks) see exactly the active
+// points.
 func (w *Workspace) grow(n int) {
 	if w.uf == nil || w.uf.Len() < n {
 		w.uf = unionfind.New(n)
 	} else {
-		w.uf.Reset()
+		w.uf.ResetN(n)
 	}
 	if cap(w.comp) < n {
 		w.comp = make([]int32, n)

@@ -38,13 +38,24 @@ func Run(pts geometry.Points, minPts int, eps float64, mutual bool) []Entry {
 // RunMetric is Run with distances, core distances, and neighborhoods taken
 // under an arbitrary metric kernel.
 func RunMetric(pts geometry.Points, minPts int, eps float64, mutual bool, m metric.Metric) []Entry {
-	n := pts.N
-	if n == 0 {
+	if pts.N == 0 {
 		return nil
 	}
 	t := kdtree.BuildMetric(pts, 16, m)
-	cd := t.CoreDistances(minPts)
+	return RunOnTree(t, t.CoreDistances(minPts), eps, mutual)
+}
 
+// RunOnTree is the OPTICS ordering over a prebuilt tree with precomputed
+// core distances (original-id order, computed with the caller's minPts).
+// All distance updates are min-reductions and the ordering heap breaks ties
+// by point id, so the result is independent of the tree's leaf size and of
+// neighbor enumeration order — a tree shared with the rest of the pipeline
+// produces exactly the standalone result. The tree is only read.
+func RunOnTree(t *kdtree.Tree, cd []float64, eps float64, mutual bool) []Entry {
+	n := t.Pts.N
+	if n == 0 {
+		return nil
+	}
 	processed := make([]bool, n)
 	reach := make([]float64, n)
 	for i := range reach {

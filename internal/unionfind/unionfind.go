@@ -66,10 +66,17 @@ func (u *UF) Union(x, y int32) bool {
 }
 
 // Reset returns the structure to all-singletons without reallocating.
-func (u *UF) Reset() {
-	for i := range u.parent {
+func (u *UF) Reset() { u.ResetN(len(u.parent)) }
+
+// ResetN returns the first n elements (n <= Len) to singletons and sets the
+// component count to n, so a recycled structure serves a smaller universe
+// correctly: Components counts only the active elements, and termination
+// checks like Components() <= 1 behave as on a fresh UF of size n. Elements
+// at index n and above must not be touched until the next full Reset.
+func (u *UF) ResetN(n int) {
+	for i := 0; i < n; i++ {
 		u.parent[i] = int32(i)
 		u.rank[i] = 0
 	}
-	u.count = len(u.parent)
+	u.count = n
 }

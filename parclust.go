@@ -5,14 +5,11 @@ import (
 	"fmt"
 	"math"
 
-	"parclust/internal/delaunay"
 	"parclust/internal/dendrogram"
 	"parclust/internal/generator"
 	"parclust/internal/geometry"
-	"parclust/internal/kdtree"
 	"parclust/internal/metric"
 	"parclust/internal/mst"
-	"parclust/internal/wspd"
 )
 
 // Metric selects the distance kernel the pipeline runs under. Every
@@ -102,24 +99,6 @@ func prepareMetric(pts Points, m Metric) (Points, metric.Metric, error) {
 		return norm, kern, nil
 	}
 	return pts, kern, nil
-}
-
-// edgeMetricFor adapts the tree's kernel to the MST edge-weight interface
-// over the kd-ordered points, preserving the monomorphized Euclidean fast
-// path.
-func edgeMetricFor(t *kdtree.Tree) kdtree.Metric {
-	if t.IsL2() {
-		return kdtree.NewEuclidean(t)
-	}
-	return kdtree.NewPointDist(t)
-}
-
-// separationFor selects the s=2 geometric well-separation for the kernel.
-func separationFor(kern metric.Metric) wspd.Separation {
-	if metric.IsL2(kern) {
-		return wspd.Geometric{S: 2}
-	}
-	return wspd.MetricGeometric{M: kern, S: 2}
 }
 
 // Points is a set of n points in d dimensions stored in a flat row-major
@@ -226,46 +205,13 @@ func EMSTMetric(pts Points, m Metric) ([]Edge, error) {
 // EMSTMetricWithStats computes the MST of pts under the given metric
 // kernel with an explicit algorithm choice, recording phase timings and
 // counters into stats when non-nil. EMSTDelaunay2D supports MetricL2 only.
+// It is a thin wrapper over a throwaway Index.
 func EMSTMetricWithStats(pts Points, algo EMSTAlgorithm, m Metric, stats *Stats) ([]Edge, error) {
-	pts, kern, err := prepareMetric(pts, m)
+	idx, err := NewIndex(pts, &IndexOptions{Metric: m})
 	if err != nil {
 		return nil, err
 	}
-	if pts.N <= 1 {
-		return nil, nil
-	}
-	if algo == EMSTDelaunay2D {
-		if m != MetricL2 {
-			return nil, fmt.Errorf("parclust: %v requires the l2 metric, got %v", algo, m)
-		}
-		if pts.Dim != 2 {
-			return nil, fmt.Errorf("parclust: %v requires 2D points, got %dD", algo, pts.Dim)
-		}
-		return delaunay.EMST(pts, stats), nil
-	}
-	var t *kdtree.Tree
-	build := func() { t = kdtree.BuildMetric(pts, 1, kern) }
-	if stats != nil {
-		stats.Time("build-tree", build)
-	} else {
-		build()
-	}
-	if algo == EMSTBoruvka {
-		return mst.Boruvka(t, stats), nil
-	}
-	cfg := mst.Config{Tree: t, Metric: edgeMetricFor(t), Sep: separationFor(kern), Stats: stats}
-	switch algo {
-	case EMSTMemoGFK:
-		return mst.MemoGFK(cfg), nil
-	case EMSTGFK:
-		return mst.GFK(cfg), nil
-	case EMSTNaive:
-		return mst.Naive(cfg), nil
-	case EMSTWSPDBoruvka:
-		return mst.WSPDBoruvka(cfg), nil
-	default:
-		return nil, fmt.Errorf("parclust: unknown EMST algorithm %v", algo)
-	}
+	return idx.emstWithStats(algo, stats)
 }
 
 func validatePoints(pts Points) error {
