@@ -13,18 +13,25 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"parclust"
+	"parclust/internal/daemon"
 	"parclust/internal/dendrogram"
 	"parclust/internal/generator"
 	"parclust/internal/geometry"
@@ -34,7 +41,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment to run (table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10 memory pairs metrics serve all)")
+	expFlag     = flag.String("exp", "all", "experiment to run (table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10 memory pairs metrics serve daemon all)")
 	nFlag       = flag.Int("n", 10000, "points per dataset")
 	minPtsFlag  = flag.Int("minpts", 10, "HDBSCAN* minPts")
 	seedFlag    = flag.Int64("seed", 42, "generator seed")
@@ -68,7 +75,7 @@ func main() {
 		*nFlag, *minPtsFlag, *seedFlag, runtime.NumCPU())
 	exps := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
-		exps = []string{"table3", "table4", "table5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "memory", "pairs", "metrics", "serve"}
+		exps = []string{"table3", "table4", "table5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "memory", "pairs", "metrics", "serve", "daemon"}
 	}
 	summary := jsonSummary{
 		N:         *nFlag,
@@ -108,6 +115,8 @@ func main() {
 			metricStudy()
 		case "serve":
 			serveStudy()
+		case "daemon":
+			daemonStudy()
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", e)
 			os.Exit(2)
@@ -678,6 +687,147 @@ func serveStudy() {
 	fmt.Printf("one-shot loop | %.3fs | %.2f queries/s\n", tOneShot, qpsOneShot)
 	fmt.Printf("shared index  | %.3fs | %.2f queries/s\n", tIndex, qpsIndex)
 	fmt.Printf("speedup       | %.2fx\n", qpsIndex/qpsOneShot)
+}
+
+// daemonStudy measures the serving layer end to end: an in-process
+// parclustd handler hosts one warm dataset, and 1/4/16 concurrent HTTP
+// clients sweep HDBSCAN* cuts against it for a fixed wall-clock window.
+// Every query rides the memoized stage pipeline (warm cuts are near-O(n)
+// and lock-free), so aggregate queries/sec should scale with cores until
+// the machine saturates; the 16-vs-1 ratio is the serving-layer
+// concurrency win. Requests use keep-alive connections and labels=false
+// responses so the measurement tracks query execution, not payload
+// shipping.
+func daemonStudy() {
+	fmt.Println("\n## Daemon: aggregate queries/sec, 1/4/16 concurrent clients on one warm dataset")
+	old := runtime.GOMAXPROCS(runtime.NumCPU())
+	defer runtime.GOMAXPROCS(old)
+
+	srv := daemon.New(daemon.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Upload the dataset.
+	pts := generator.SSVarden(*nFlag, 2, *seedFlag)
+	rows := make([][]float64, pts.N)
+	for i := 0; i < pts.N; i++ {
+		rows[i] = pts.Data[i*pts.Dim : (i+1)*pts.Dim]
+	}
+	body, err := json.Marshal(map[string]any{"points": rows})
+	if err != nil {
+		panic(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/datasets/bench", bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		panic(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		panic(fmt.Sprintf("upload: status %d", resp.StatusCode))
+	}
+
+	// Derive a meaningful eps ladder and warm every stage the sweep
+	// touches (tree, core distances, MST, dendrogram, cut structure), so
+	// the measured regime is the steady serving state.
+	probe, err := parclust.HDBSCAN(pts, *minPtsFlag)
+	if err != nil {
+		panic(err)
+	}
+	ws := make([]float64, len(probe.MST))
+	for i, e := range probe.MST {
+		ws[i] = e.W
+	}
+	sort.Float64s(ws)
+	quantile := func(q float64) float64 { return ws[int(q*float64(len(ws)-1))] }
+	epsList := []float64{quantile(0.5), quantile(0.7), quantile(0.8), quantile(0.9), quantile(0.95)}
+	paths := make([]string, len(epsList))
+	for i, eps := range epsList {
+		paths[i] = fmt.Sprintf("/v1/datasets/bench/hdbscan?minpts=%d&eps=%g&labels=false", *minPtsFlag, eps)
+	}
+	warm := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	for _, p := range paths {
+		r, err := warm.Get(ts.URL + p)
+		if err != nil {
+			panic(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("warmup %s: status %d", p, r.StatusCode))
+		}
+	}
+
+	const window = 1200 * time.Millisecond
+	fmt.Printf("note: queries are CPU-bound, so the concurrency speedup is bounded by NumCPU=%d\n", runtime.NumCPU())
+	fmt.Println("clients | queries | seconds | agg_qps | speedup_vs_1")
+	var qps1 float64
+	for _, clients := range []int{1, 4, 16} {
+		var total, failed atomic.Int64
+		deadline := time.Now().Add(window)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+				defer client.CloseIdleConnections()
+				for i := c; time.Now().Before(deadline); i++ {
+					r, err := client.Get(ts.URL + paths[i%len(paths)])
+					if err != nil {
+						failed.Add(1)
+						continue
+					}
+					io.Copy(io.Discard, r.Body)
+					r.Body.Close()
+					if r.StatusCode != http.StatusOK {
+						failed.Add(1)
+						continue
+					}
+					total.Add(1)
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		if failed.Load() > 0 {
+			panic(fmt.Sprintf("%d daemon bench queries failed", failed.Load()))
+		}
+		qps := float64(total.Load()) / elapsed
+		if clients == 1 {
+			qps1 = qps
+		}
+		fmt.Printf("%d | %d | %.3f | %.1f | %.2fx\n", clients, total.Load(), elapsed, qps, qps/qps1)
+	}
+
+	// The stage counters prove the whole run was served from one pipeline
+	// build (plus any cold requests coalesced behind it).
+	var stats struct {
+		Datasets map[string]struct {
+			Counters struct {
+				TreeBuilds     int64 `json:"tree_builds"`
+				DendrogramHits int64 `json:"dendrogram_hits"`
+				CoalescedTotal int64 `json:"coalesced_total"`
+			} `json:"counters"`
+		} `json:"datasets"`
+	}
+	r, err := warm.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		panic(err)
+	}
+	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
+		panic(err)
+	}
+	r.Body.Close()
+	c := stats.Datasets["bench"].Counters
+	fmt.Printf("stage counters: tree_builds=%d dendrogram_hits=%d coalesced=%d\n",
+		c.TreeBuilds, c.DendrogramHits, c.CoalescedTotal)
 }
 
 func pairStudy() {

@@ -1,0 +1,79 @@
+// Command parclustd serves clustering queries over HTTP: upload named
+// datasets, then answer HDBSCAN*/DBSCAN/OPTICS/EMST/k-NN/range queries
+// from each dataset's memoized stage pipeline. Datasets live in a sharded
+// LRU registry under a -max-bytes admission budget; concurrent cold
+// queries for the same stage coalesce into a single build.
+//
+// Usage:
+//
+//	parclustd -addr :8650 -max-bytes $((1<<30))
+//
+// Upload and query:
+//
+//	curl -X PUT localhost:8650/v1/datasets/demo -H 'Content-Type: application/json' \
+//	     -d '{"points": [[0,0],[0,1],[1,0],[9,9],[9,8],[8,9]]}'
+//	curl 'localhost:8650/v1/datasets/demo/hdbscan?minpts=2&eps=1.5'
+//	curl 'localhost:8650/v1/stats'
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, then
+// in-flight queries get -drain to finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parclust/internal/daemon"
+)
+
+var (
+	addrFlag      = flag.String("addr", ":8650", "listen address")
+	maxBytesFlag  = flag.Int64("max-bytes", 1<<30, "dataset registry memory budget in bytes (0 = unlimited): uploads are admitted against Index.ApproxBytes estimates, evicting idle datasets LRU-first, and refused with 507 when everything resident is pinned by in-flight queries")
+	shardsFlag    = flag.Int("shards", 16, "registry shard count (rounded up to a power of two)")
+	maxUploadFlag = flag.Int64("max-upload-bytes", 1<<30, "largest accepted upload request body in bytes")
+	drainFlag     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight queries")
+)
+
+func main() {
+	flag.Parse()
+	srv := daemon.New(daemon.Config{
+		MaxBytes:       *maxBytesFlag,
+		Shards:         *shardsFlag,
+		MaxUploadBytes: *maxUploadFlag,
+	})
+	hs := &http.Server{
+		Addr:              *addrFlag,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("parclustd listening on %s (max-bytes=%d, shards=%d)", *addrFlag, *maxBytesFlag, *shardsFlag)
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down, draining in-flight queries for up to %s", *drainFlag)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFlag)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("drain incomplete, closing: %v", err)
+		hs.Close()
+	}
+	log.Printf("parclustd stopped")
+}

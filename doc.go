@@ -85,6 +85,28 @@
 // perform zero heap allocations. See the README's "Performance notes" for
 // measured effects.
 //
+// # Serving and registry memory accounting
+//
+// The parclustd daemon (cmd/parclustd, handlers in internal/daemon) hosts
+// many named datasets, each backed by one Index, in a sharded LRU registry
+// (internal/registry) under a -max-bytes admission budget. Concurrent cold
+// queries that need the same unbuilt stage coalesce into a single build
+// (the N-1 followers park on the leader's flight and are reported in the
+// Coalesced counters of IndexStats), and evicting a dataset never frees it
+// out from under an in-flight query: queries hold ref-counted handles, and
+// an evicted dataset's memory stays charged against the budget until the
+// last handle drains.
+//
+// The budget is accounted in units of ApproxBytes, a warm-Index sizing
+// model rather than a live-allocation count: the retained input rows
+// (8·n·dim), the k-d tree (its kd-ordered point copy, ~2n arena nodes with
+// their contiguous [lo|hi|ctr] geometry blocks, and the two int32
+// permutations), plus a stage-cache allowance of four core-distance sets,
+// two MST edge lists, and the dendrogram with its cut structure. The
+// estimate is charged once at upload, deliberately on the warm side, so a
+// budget negotiated at admission time still holds after sweep traffic has
+// populated the stage caches.
+//
 // # Quick start
 //
 //	pts := parclust.GenerateUniform(100000, 2, 42)

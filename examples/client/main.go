@@ -1,0 +1,147 @@
+// Client: drive a running parclustd daemon end to end — upload a dataset,
+// sweep HDBSCAN* parameters against the server's memoized stage pipeline,
+// run point queries, and read the stage-cache counters that prove the
+// amortization. Start the daemon first:
+//
+//	go run ./cmd/parclustd -addr :8650
+//	go run ./examples/client -addr http://localhost:8650
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+
+	"parclust"
+)
+
+var (
+	addrFlag   = flag.String("addr", "http://localhost:8650", "parclustd base URL")
+	nameFlag   = flag.String("name", "demo", "dataset name to upload under")
+	nFlag      = flag.Int("n", 5000, "points to generate and upload")
+	minPtsFlag = flag.Int("minpts", 10, "HDBSCAN* minPts for the sweep")
+	keepFlag   = flag.Bool("keep", false, "leave the dataset on the server instead of evicting it")
+)
+
+// call performs one request and decodes the JSON response into out (which
+// may be nil). Non-2xx responses abort with the server's error message.
+func call(method, url string, body []byte, out any) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatalf("%s %s: %v (is parclustd running?)", method, url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		log.Fatalf("%s %s: status %d: %s", method, url, resp.StatusCode, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			log.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+}
+
+func main() {
+	flag.Parse()
+	base := *addrFlag
+
+	// Generate four Gaussian blobs locally and upload them.
+	pts := parclust.GenerateGaussianMixture(*nFlag, 2, 4, 7)
+	rows := make([][]float64, pts.N)
+	for i := 0; i < pts.N; i++ {
+		rows[i] = pts.Data[i*pts.Dim : (i+1)*pts.Dim]
+	}
+	body, err := json.Marshal(map[string]any{"points": rows})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var info struct {
+		Name  string `json:"name"`
+		N     int    `json:"n"`
+		Dim   int    `json:"dim"`
+		Bytes int64  `json:"bytes"`
+	}
+	call(http.MethodPut, base+"/v1/datasets/"+*nameFlag, body, &info)
+	fmt.Printf("uploaded %q: n=%d dim=%d (~%.1f MiB admitted)\n",
+		info.Name, info.N, info.Dim, float64(info.Bytes)/(1<<20))
+
+	// Sweep minPts x eps. The server pays one tree build for everything,
+	// one core-distance + MST run per minPts, and near-O(n) per cut.
+	type flat struct {
+		NumClusters int `json:"num_clusters"`
+		NumNoise    int `json:"num_noise"`
+	}
+	for _, minPts := range []int{5, *minPtsFlag, 25} {
+		fmt.Printf("hdbscan minPts=%d:", minPts)
+		for _, eps := range []float64{0.5, 1, 2, 4, 8} {
+			var res flat
+			call(http.MethodGet,
+				fmt.Sprintf("%s/v1/datasets/%s/hdbscan?minpts=%d&eps=%g&labels=false", base, *nameFlag, minPts, eps),
+				nil, &res)
+			fmt.Printf("  eps=%g->%d clusters/%d noise", eps, res.NumClusters, res.NumNoise)
+		}
+		fmt.Println()
+	}
+
+	// Stability-based extraction needs no radius at all.
+	var stable flat
+	call(http.MethodGet,
+		fmt.Sprintf("%s/v1/datasets/%s/hdbscan?minpts=%d&minclustersize=25&labels=false", base, *nameFlag, *minPtsFlag),
+		nil, &stable)
+	fmt.Printf("stable extraction (minclustersize=25): %d clusters, %d noise\n", stable.NumClusters, stable.NumNoise)
+
+	// Flat DBSCAN and point queries ride the same shared tree.
+	var db flat
+	call(http.MethodGet,
+		fmt.Sprintf("%s/v1/datasets/%s/dbscan?minpts=%d&eps=1.5&labels=false", base, *nameFlag, *minPtsFlag),
+		nil, &db)
+	fmt.Printf("dbscan(minPts=%d, eps=1.5): %d clusters\n", *minPtsFlag, db.NumClusters)
+
+	var knn struct {
+		Neighbors []struct {
+			ID   int32   `json:"id"`
+			Dist float64 `json:"dist"`
+		} `json:"neighbors"`
+	}
+	call(http.MethodGet, fmt.Sprintf("%s/v1/datasets/%s/knn?q=0&k=4", base, *nameFlag), nil, &knn)
+	fmt.Printf("4-NN of point 0: %v\n", knn.Neighbors)
+
+	// The stage counters prove one tree build served every query above.
+	var stats struct {
+		Counters struct {
+			TreeBuilds     int64 `json:"tree_builds"`
+			CoreDistBuilds int64 `json:"core_dist_builds"`
+			MSTBuilds      int64 `json:"mst_builds"`
+			DendrogramHits int64 `json:"dendrogram_hits"`
+			CoalescedTotal int64 `json:"coalesced_total"`
+		} `json:"counters"`
+	}
+	call(http.MethodGet, base+"/v1/datasets/"+*nameFlag, nil, &stats)
+	c := stats.Counters
+	fmt.Printf("stage counters: tree_builds=%d core_dist_builds=%d mst_builds=%d dendrogram_hits=%d coalesced=%d\n",
+		c.TreeBuilds, c.CoreDistBuilds, c.MSTBuilds, c.DendrogramHits, c.CoalescedTotal)
+
+	if !*keepFlag {
+		call(http.MethodDelete, base+"/v1/datasets/"+*nameFlag, nil, nil)
+		fmt.Printf("evicted %q\n", *nameFlag)
+	}
+}

@@ -85,13 +85,35 @@ func (ix *Index) Metric() Metric { return ix.metric }
 
 // IndexStats is a snapshot of an Index's per-stage cache counters: Builds
 // count stage executions (misses), Hits count queries served from a
-// memoized stage. After any number of queries over one dataset,
+// memoized stage, and Coalesced counts queries that parked on another
+// goroutine's in-flight build of the same stage (the singleflight
+// outcome). After any number of queries over one dataset,
 // TreeBuilds == 1 and MSTBuilds equals the number of distinct
 // (pipeline, algorithm, minPts) combinations queried.
 type IndexStats = engine.Counters
 
 // Stats returns a snapshot of the per-stage cache counters.
 func (ix *Index) Stats() IndexStats { return ix.eng.Counters() }
+
+// ApproxBytes estimates the resident memory of a warm Index in bytes: the
+// retained input rows, the k-d tree (kd-ordered point copy, ~2n arena
+// nodes with their [lo|hi|ctr] geometry blocks, the two permutations), and
+// a fully-exercised stage cache (an allowance of four core-distance sets,
+// two MST edge lists, and the dendrogram + cut structures). The serving
+// registry charges this estimate against its -max-bytes budget at upload
+// time; it is a sizing model, not an accounting of live allocations, and
+// deliberately errs on the warm side so a budget holds under sweep
+// traffic.
+func (ix *Index) ApproxBytes() int64 {
+	n, dim := int64(ix.N()), int64(ix.Dim())
+	if n == 0 {
+		return 4096
+	}
+	pts := 8 * n * dim                      // caller's rows, retained by reference
+	tree := 8*n*dim + 2*n*(24*dim+64) + 8*n // kd-order copy + node slab/geometry + Orig/Inv
+	cache := 4*8*n + 2*24*n + 96*n          // core-distance sets + MSTs + dendrogram/cutter
+	return pts + tree + cache + 4096
+}
 
 // HDBSCAN returns the memoized HDBSCAN* hierarchy for minPts (default
 // space-efficient algorithm). The first call per minPts computes core

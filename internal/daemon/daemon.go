@@ -1,0 +1,798 @@
+// Package daemon implements the parclustd HTTP/JSON serving layer: named
+// datasets are uploaded into a sharded, memory-budgeted registry of
+// parclust Indexes, and every clustering query is answered from the
+// memoized stage pipeline behind the dataset's Index. Concurrent cold
+// queries for the same stage coalesce into one build (the engine's
+// singleflight), warm queries run lock-free, and evicting a dataset never
+// frees it out from under an in-flight query (the registry's ref-counted
+// deferred release).
+//
+// The handler tree (all responses application/json):
+//
+//	GET    /healthz                       liveness probe
+//	GET    /v1/datasets                   list datasets + registry occupancy
+//	PUT    /v1/datasets/{name}            upload (JSON {"points":[[...]]} or CSV body)
+//	POST   /v1/datasets/{name}            alias for PUT
+//	GET    /v1/datasets/{name}            one dataset's info + stage counters
+//	DELETE /v1/datasets/{name}            evict
+//	GET    /v1/datasets/{name}/hdbscan    ?minpts=&eps= | &minclustersize=  [&algo=&labels=false]
+//	GET    /v1/datasets/{name}/dbscan     ?minpts=&eps=  [&star=true&labels=false]
+//	GET    /v1/datasets/{name}/optics     ?minpts=  [&eps=]
+//	GET    /v1/datasets/{name}/emst       [?algo=&edges=false]
+//	GET    /v1/datasets/{name}/knn        ?q=&k=
+//	GET    /v1/datasets/{name}/range      ?q=&r=  [&ids=false]
+//	GET    /v1/broadcast/hdbscan          ?minpts=&eps=   fan-out across all datasets
+//	GET    /v1/stats                      engine counters per dataset + registry occupancy
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"parclust"
+	"parclust/internal/dataio"
+	"parclust/internal/engine"
+	"parclust/internal/registry"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// MaxBytes is the registry memory budget for admitted datasets
+	// (estimated via Index.ApproxBytes); <= 0 disables the budget.
+	MaxBytes int64
+	// Shards is the registry shard count (<= 0: 16).
+	Shards int
+	// MaxUploadBytes caps one upload request body (<= 0: 1 GiB).
+	MaxUploadBytes int64
+}
+
+// Server hosts the dataset registry behind the HTTP handler tree.
+type Server struct {
+	cfg Config
+	reg *registry.Registry[*dataset]
+}
+
+// dataset is one registry entry: a named, immutable Index.
+type dataset struct {
+	name   string
+	metric parclust.Metric
+	idx    *parclust.Index
+	bytes  int64
+}
+
+// New returns a Server with an empty registry.
+func New(cfg Config) *Server {
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = 1 << 30
+	}
+	return &Server{cfg: cfg, reg: registry.New[*dataset](cfg.MaxBytes, cfg.Shards)}
+}
+
+// Registry exposes the underlying dataset registry (occupancy stats,
+// direct eviction) to embedding code such as cmd/parclustd and tests.
+func (s *Server) Registry() *registry.Registry[*dataset] { return s.reg }
+
+// Handler returns the daemon's HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/datasets", s.handleList)
+	mux.HandleFunc("PUT /v1/datasets/{name}", s.handleUpload)
+	mux.HandleFunc("POST /v1/datasets/{name}", s.handleUpload)
+	mux.HandleFunc("GET /v1/datasets/{name}", s.handleInfo)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleEvict)
+	mux.HandleFunc("GET /v1/datasets/{name}/hdbscan", s.handleHDBSCAN)
+	mux.HandleFunc("GET /v1/datasets/{name}/dbscan", s.handleDBSCAN)
+	mux.HandleFunc("GET /v1/datasets/{name}/optics", s.handleOPTICS)
+	mux.HandleFunc("GET /v1/datasets/{name}/emst", s.handleEMST)
+	mux.HandleFunc("GET /v1/datasets/{name}/knn", s.handleKNN)
+	mux.HandleFunc("GET /v1/datasets/{name}/range", s.handleRange)
+	mux.HandleFunc("GET /v1/broadcast/hdbscan", s.handleBroadcast)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// ---------------------------------------------------------------- encoding
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the status line is out; nothing useful to do on error
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// countersJSON mirrors engine.Counters with wire names plus the coalesced
+// total the 16-cold-clients test (and dashboards) key on.
+type countersJSON struct {
+	TreeBuilds          int64 `json:"tree_builds"`
+	TreeHits            int64 `json:"tree_hits"`
+	TreeCoalesced       int64 `json:"tree_coalesced"`
+	CoreDistBuilds      int64 `json:"core_dist_builds"`
+	CoreDistHits        int64 `json:"core_dist_hits"`
+	CoreDistCoalesced   int64 `json:"core_dist_coalesced"`
+	MSTBuilds           int64 `json:"mst_builds"`
+	MSTHits             int64 `json:"mst_hits"`
+	MSTCoalesced        int64 `json:"mst_coalesced"`
+	DendrogramBuilds    int64 `json:"dendrogram_builds"`
+	DendrogramHits      int64 `json:"dendrogram_hits"`
+	DendrogramCoalesced int64 `json:"dendrogram_coalesced"`
+	CoalescedTotal      int64 `json:"coalesced_total"`
+}
+
+func toCountersJSON(c engine.Counters) countersJSON {
+	return countersJSON{
+		TreeBuilds:          c.TreeBuilds,
+		TreeHits:            c.TreeHits,
+		TreeCoalesced:       c.TreeCoalesced,
+		CoreDistBuilds:      c.CoreDistBuilds,
+		CoreDistHits:        c.CoreDistHits,
+		CoreDistCoalesced:   c.CoreDistCoalesced,
+		MSTBuilds:           c.MSTBuilds,
+		MSTHits:             c.MSTHits,
+		MSTCoalesced:        c.MSTCoalesced,
+		DendrogramBuilds:    c.DendrogramBuilds,
+		DendrogramHits:      c.DendrogramHits,
+		DendrogramCoalesced: c.DendrogramCoalesced,
+		CoalescedTotal:      c.Coalesced(),
+	}
+}
+
+type registryJSON struct {
+	Datasets  int   `json:"datasets"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+	Evictions int64 `json:"evictions"`
+}
+
+func toRegistryJSON(s registry.Stats) registryJSON {
+	return registryJSON{Datasets: s.Entries, Bytes: s.Bytes, MaxBytes: s.MaxBytes, Evictions: s.Evictions}
+}
+
+type datasetInfo struct {
+	Name   string `json:"name"`
+	N      int    `json:"n"`
+	Dim    int    `json:"dim"`
+	Metric string `json:"metric"`
+	Bytes  int64  `json:"bytes"`
+}
+
+func infoOf(d *dataset) datasetInfo {
+	return datasetInfo{Name: d.name, N: d.idx.N(), Dim: d.idx.Dim(), Metric: d.metric.String(), Bytes: d.bytes}
+}
+
+// ---------------------------------------------------------------- params
+
+func validName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '.' || c == '_' || c == '-'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// qInt parses a required integer query parameter; ok=false means the error
+// response has been written.
+func qInt(w http.ResponseWriter, r *http.Request, key string) (int, bool) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter %q", key)
+		return 0, false
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad %s=%q: %v", key, raw, err)
+		return 0, false
+	}
+	return v, true
+}
+
+// qInt32 parses a required point-id query parameter, rejecting values
+// outside int32 range (a silent truncation would alias huge ids onto
+// valid points).
+func qInt32(w http.ResponseWriter, r *http.Request, key string) (int32, bool) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter %q", key)
+		return 0, false
+	}
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad %s=%q: %v", key, raw, err)
+		return 0, false
+	}
+	return int32(v), true
+}
+
+func qFloat(w http.ResponseWriter, r *http.Request, key string) (float64, bool) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter %q", key)
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad %s=%q: %v", key, raw, err)
+		return 0, false
+	}
+	return v, true
+}
+
+// qBool reads an optional boolean parameter, defaulting to def when
+// absent; a malformed value is a 400 like every other parameter, not a
+// silent fallback (ok=false means the error response has been written).
+func qBool(w http.ResponseWriter, r *http.Request, key string, def bool) (bool, bool) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, true
+	}
+	v, err := strconv.ParseBool(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad %s=%q: %v", key, raw, err)
+		return false, false
+	}
+	return v, true
+}
+
+func parseHDBSCANAlgo(raw string) (parclust.HDBSCANAlgorithm, error) {
+	switch strings.ToLower(raw) {
+	case "", "memogfk":
+		return parclust.HDBSCANMemoGFK, nil
+	case "gantao":
+		return parclust.HDBSCANGanTao, nil
+	case "gantaofull":
+		return parclust.HDBSCANGanTaoFull, nil
+	}
+	return 0, fmt.Errorf("unknown hdbscan algo %q (want memogfk|gantao|gantaofull)", raw)
+}
+
+func parseEMSTAlgo(raw string) (parclust.EMSTAlgorithm, error) {
+	switch strings.ToLower(raw) {
+	case "", "memogfk":
+		return parclust.EMSTMemoGFK, nil
+	case "gfk":
+		return parclust.EMSTGFK, nil
+	case "naive":
+		return parclust.EMSTNaive, nil
+	case "boruvka":
+		return parclust.EMSTBoruvka, nil
+	case "delaunay2d":
+		return parclust.EMSTDelaunay2D, nil
+	case "wspdboruvka":
+		return parclust.EMSTWSPDBoruvka, nil
+	}
+	return 0, fmt.Errorf("unknown emst algo %q (want memogfk|gfk|naive|boruvka|delaunay2d|wspdboruvka)", raw)
+}
+
+// acquire pins the named dataset for the duration of one query, writing
+// the 404 when it is absent. Callers must Release the handle.
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (*registry.Handle[*dataset], bool) {
+	name := r.PathValue("name")
+	h, ok := s.reg.Acquire(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataset %q not found", name)
+		return nil, false
+	}
+	return h, true
+}
+
+// ---------------------------------------------------------------- upload
+
+type uploadRequest struct {
+	Metric string      `json:"metric"`
+	Points [][]float64 `json:"points"`
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !validName(name) {
+		writeError(w, http.StatusBadRequest, "invalid dataset name %q (want [A-Za-z0-9._-]{1,128})", name)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	defer body.Close()
+
+	metricName := r.URL.Query().Get("metric")
+	var pts parclust.Points
+	if strings.Contains(r.Header.Get("Content-Type"), "json") {
+		var req uploadRequest
+		dec := json.NewDecoder(body)
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, uploadErrCode(err), "decode points: %v", err)
+			return
+		}
+		if len(req.Points) == 0 {
+			writeError(w, http.StatusBadRequest, "no points in upload")
+			return
+		}
+		dim := len(req.Points[0])
+		for i, row := range req.Points {
+			if len(row) != dim {
+				writeError(w, http.StatusBadRequest, "point %d has dimension %d, want %d", i, len(row), dim)
+				return
+			}
+		}
+		pts = parclust.PointsFromSlices(req.Points)
+		if req.Metric != "" {
+			metricName = req.Metric
+		}
+	} else {
+		var err error
+		pts, err = dataio.ReadPoints(body, name)
+		if err != nil {
+			writeError(w, uploadErrCode(err), "parse points: %v", err)
+			return
+		}
+	}
+
+	m := parclust.MetricL2
+	if metricName != "" {
+		var err error
+		m, err = parclust.ParseMetric(metricName)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	idx, err := parclust.NewIndex(pts, &parclust.IndexOptions{Metric: m})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	d := &dataset{name: name, metric: m, idx: idx, bytes: idx.ApproxBytes()}
+	if err := s.reg.Put(name, d, d.bytes); err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, registry.ErrTooLarge) || errors.Is(err, registry.ErrOverBudget) {
+			code = http.StatusInsufficientStorage
+		}
+		writeError(w, code, "admit dataset: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoOf(d))
+}
+
+// uploadErrCode maps body-read failures to 413 when the MaxBytesReader
+// tripped and 400 otherwise.
+func uploadErrCode(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// ---------------------------------------------------------------- admin
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	var infos []datasetInfo
+	for _, key := range s.reg.Keys() {
+		if h, ok := s.reg.Peek(key); ok {
+			infos = append(infos, infoOf(h.Value()))
+			h.Release()
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"datasets": infos,
+		"registry": toRegistryJSON(s.reg.Stats()),
+	})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	h, ok := s.reg.Peek(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataset %q not found", name)
+		return
+	}
+	defer h.Release()
+	d := h.Value()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset":  infoOf(d),
+		"counters": toCountersJSON(d.idx.Stats()),
+	})
+}
+
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.reg.Evict(name) {
+		writeError(w, http.StatusNotFound, "dataset %q not found", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"evicted": name})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	perDataset := map[string]any{}
+	for _, key := range s.reg.Keys() {
+		if h, ok := s.reg.Peek(key); ok {
+			d := h.Value()
+			perDataset[key] = map[string]any{
+				"n":        d.idx.N(),
+				"dim":      d.idx.Dim(),
+				"metric":   d.metric.String(),
+				"bytes":    d.bytes,
+				"counters": toCountersJSON(d.idx.Stats()),
+			}
+			h.Release()
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"registry": toRegistryJSON(s.reg.Stats()),
+		"datasets": perDataset,
+	})
+}
+
+// ---------------------------------------------------------------- queries
+
+type flatResult struct {
+	Dataset        string  `json:"dataset"`
+	MinPts         int     `json:"minpts"`
+	Eps            float64 `json:"eps,omitempty"`
+	MinClusterSize int     `json:"min_cluster_size,omitempty"`
+	Algo           string  `json:"algo,omitempty"`
+	Star           bool    `json:"star,omitempty"`
+	NumClusters    int     `json:"num_clusters"`
+	NumNoise       int     `json:"num_noise"`
+	Labels         []int32 `json:"labels,omitempty"`
+}
+
+func countNoise(labels []int32) int {
+	n := 0
+	for _, l := range labels {
+		if l < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Server) handleHDBSCAN(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer h.Release()
+	d := h.Value()
+	minPts, ok := qInt(w, r, "minpts")
+	if !ok {
+		return
+	}
+	algo, err := parseHDBSCANAlgo(r.URL.Query().Get("algo"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Parse the cut mode before touching the index: a malformed request
+	// must not pay for (or trigger) a pipeline build.
+	var (
+		useEps bool
+		eps    float64
+		mcs    int
+	)
+	switch {
+	case r.URL.Query().Get("eps") != "":
+		if eps, ok = qFloat(w, r, "eps"); !ok {
+			return
+		}
+		useEps = true
+	case r.URL.Query().Get("minclustersize") != "":
+		if mcs, ok = qInt(w, r, "minclustersize"); !ok {
+			return
+		}
+		if mcs < 1 {
+			writeError(w, http.StatusBadRequest, "minclustersize must be >= 1, got %d", mcs)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "need eps= (flat cut) or minclustersize= (stability extraction)")
+		return
+	}
+	hier, err := d.idx.HDBSCANWithAlgorithm(minPts, algo)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res := flatResult{Dataset: d.name, MinPts: minPts, Algo: algo.String()}
+	var c parclust.Clustering
+	if useEps {
+		c = hier.ClustersAt(eps)
+		res.Eps = eps
+		res.NumNoise = hier.NumNoiseAt(eps)
+	} else {
+		c = hier.ExtractStableClusters(mcs)
+		res.MinClusterSize = mcs
+		res.NumNoise = countNoise(c.Labels)
+	}
+	res.NumClusters = c.NumClusters
+	withLabels, ok := qBool(w, r, "labels", true)
+	if !ok {
+		return
+	}
+	if withLabels {
+		res.Labels = c.Labels
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleDBSCAN(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer h.Release()
+	d := h.Value()
+	minPts, ok := qInt(w, r, "minpts")
+	if !ok {
+		return
+	}
+	eps, ok := qFloat(w, r, "eps")
+	if !ok {
+		return
+	}
+	star, ok := qBool(w, r, "star", false)
+	if !ok {
+		return
+	}
+	var c parclust.Clustering
+	var err error
+	if star {
+		c, err = d.idx.DBSCANStar(minPts, eps)
+	} else {
+		c, err = d.idx.DBSCAN(minPts, eps)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res := flatResult{
+		Dataset: d.name, MinPts: minPts, Eps: eps, Star: star,
+		NumClusters: c.NumClusters, NumNoise: countNoise(c.Labels),
+	}
+	withLabels, ok := qBool(w, r, "labels", true)
+	if !ok {
+		return
+	}
+	if withLabels {
+		res.Labels = c.Labels
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// opticsBar is one OPTICS position; Reachability is null for points that
+// start a new connected component (+Inf has no JSON encoding).
+type opticsBar struct {
+	ID           int32    `json:"id"`
+	Reachability *float64 `json:"reachability"`
+}
+
+func (s *Server) handleOPTICS(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer h.Release()
+	d := h.Value()
+	minPts, ok := qInt(w, r, "minpts")
+	if !ok {
+		return
+	}
+	eps := math.Inf(1)
+	if r.URL.Query().Get("eps") != "" {
+		if eps, ok = qFloat(w, r, "eps"); !ok {
+			return
+		}
+	}
+	entries, err := d.idx.OPTICS(minPts, eps)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	order := make([]opticsBar, len(entries))
+	for i, e := range entries {
+		order[i] = opticsBar{ID: e.Idx}
+		if !math.IsInf(e.Reachability, 1) {
+			reach := e.Reachability
+			order[i].Reachability = &reach
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": d.name, "minpts": minPts, "order": order,
+	})
+}
+
+type edgeJSON struct {
+	U int32   `json:"u"`
+	V int32   `json:"v"`
+	W float64 `json:"w"`
+}
+
+func (s *Server) handleEMST(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer h.Release()
+	d := h.Value()
+	algo, err := parseEMSTAlgo(r.URL.Query().Get("algo"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	edges, err := d.idx.EMSTWithAlgorithm(algo)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	total := 0.0
+	for _, e := range edges {
+		total += e.W
+	}
+	resp := map[string]any{
+		"dataset": d.name, "algo": algo.String(),
+		"num_edges": len(edges), "total_weight": total,
+	}
+	withEdges, ok := qBool(w, r, "edges", true)
+	if !ok {
+		return
+	}
+	if withEdges {
+		out := make([]edgeJSON, len(edges))
+		for i, e := range edges {
+			out[i] = edgeJSON{U: e.U, V: e.V, W: e.W}
+		}
+		resp["edges"] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type neighborJSON struct {
+	ID   int32   `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer h.Release()
+	d := h.Value()
+	q, ok := qInt32(w, r, "q")
+	if !ok {
+		return
+	}
+	k, ok := qInt(w, r, "k")
+	if !ok {
+		return
+	}
+	nbs, err := d.idx.KNN(q, k)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([]neighborJSON, len(nbs))
+	for i, nb := range nbs {
+		out[i] = neighborJSON{ID: nb.Idx, Dist: nb.Dist}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": d.name, "q": q, "k": k, "neighbors": out,
+	})
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer h.Release()
+	d := h.Value()
+	q, ok := qInt32(w, r, "q")
+	if !ok {
+		return
+	}
+	radius, ok := qFloat(w, r, "r")
+	if !ok {
+		return
+	}
+	ids, err := d.idx.RangeQuery(q, radius)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := map[string]any{
+		"dataset": d.name, "q": q, "r": radius, "count": len(ids),
+	}
+	withIDs, ok := qBool(w, r, "ids", true)
+	if !ok {
+		return
+	}
+	if withIDs {
+		resp["ids"] = ids
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------- fan-out
+
+// broadcastEntry is one dataset's slice of a fan-out query.
+type broadcastEntry struct {
+	Dataset     string `json:"dataset"`
+	N           int    `json:"n"`
+	NumClusters int    `json:"num_clusters"`
+	NumNoise    int    `json:"num_noise"`
+	Error       string `json:"error,omitempty"`
+}
+
+// handleBroadcast answers one HDBSCAN cut against every resident dataset,
+// fanning the per-dataset queries out concurrently so a multi-tenant sweep
+// uses the whole machine instead of iterating datasets sequentially.
+//
+// The fan-out deliberately uses one goroutine per dataset, NOT the
+// work-stealing scheduler (parallel.For): a query body can block on an
+// engine's build mutex or park on a singleflight flight, and a blocking
+// body inside a scheduler task can be leapfrog-stolen by a stage-build
+// leader's Sync — which would park the leader on a flight only it can
+// complete (or self-lock its own buildMu), deadlocking the daemon. The
+// per-dataset query work below still runs on the scheduler internally.
+func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request) {
+	minPts, ok := qInt(w, r, "minpts")
+	if !ok {
+		return
+	}
+	eps, ok := qFloat(w, r, "eps")
+	if !ok {
+		return
+	}
+	keys := s.reg.Keys()
+	results := make([]broadcastEntry, len(keys))
+	var wg sync.WaitGroup
+	queryOne := func(i int) {
+		results[i] = broadcastEntry{Dataset: keys[i]}
+		h, ok := s.reg.Acquire(keys[i])
+		if !ok {
+			results[i].Error = "evicted during broadcast"
+			return
+		}
+		defer h.Release()
+		d := h.Value()
+		results[i].N = d.idx.N()
+		hier, err := d.idx.HDBSCAN(minPts)
+		if err != nil {
+			results[i].Error = err.Error()
+			return
+		}
+		c := hier.ClustersAt(eps)
+		results[i].NumClusters = c.NumClusters
+		results[i].NumNoise = hier.NumNoiseAt(eps)
+	}
+	for i := range keys {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			queryOne(i)
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"minpts": minPts, "eps": eps, "results": results,
+	})
+}

@@ -29,6 +29,7 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"parclust/internal/delaunay"
 	"parclust/internal/dendrogram"
@@ -118,6 +119,12 @@ type Engine struct {
 	// regMu guards the memo registry below. Write-locked only to publish a
 	// finished stage; read-locked on every lookup.
 	regMu sync.RWMutex
+	// sfMu guards inflight, the singleflight table of stage computations
+	// currently executing: concurrent requests for the same unbuilt stage
+	// park on the leader's completion instead of queueing on buildMu, and
+	// are counted as "coalesced" rather than builds or hits.
+	sfMu     sync.Mutex
+	inflight map[sfKey]*flight
 
 	tree  *kdtree.Tree
 	cores map[int][]float64 // minPts -> core distances, original-id order
@@ -136,12 +143,85 @@ type Engine struct {
 // ownership in the sense that pts must not be mutated afterwards.
 func New(pts geometry.Points, kern metric.Metric) *Engine {
 	return &Engine{
-		Pts:   pts,
-		Kern:  kern,
-		cores: make(map[int][]float64),
-		msts:  make(map[mstKey][]mst.Edge),
-		hiers: make(map[mstKey]*HierStage),
+		Pts:      pts,
+		Kern:     kern,
+		inflight: make(map[sfKey]*flight),
+		cores:    make(map[int][]float64),
+		msts:     make(map[mstKey][]mst.Edge),
+		hiers:    make(map[mstKey]*HierStage),
 	}
+}
+
+// Stage families of the singleflight table.
+const (
+	sfTree uint8 = iota
+	sfCore
+	sfMST
+	sfHier
+)
+
+// sfKey identifies one coalescable stage computation: requests with equal
+// keys need the same stage output, so only the first should run it.
+type sfKey struct {
+	stage  uint8
+	kind   Kind
+	algo   uint8
+	minPts int
+}
+
+// flight is one in-flight stage computation; done is closed after the
+// leader has published the stage output.
+type flight struct {
+	done chan struct{}
+}
+
+// TestBuildHook, when non-nil, is invoked by a singleflight leader (with the
+// stage family "tree", "core", "mst", or "hier") after it has registered its
+// flight and before it starts the build. Tests use it to hold a cold build
+// open until a known number of concurrent requests have parked on the
+// flight; it must never be set outside tests.
+var TestBuildHook func(stage string)
+
+func sfStageName(stage uint8) string {
+	switch stage {
+	case sfTree:
+		return "tree"
+	case sfCore:
+		return "core"
+	case sfMST:
+		return "mst"
+	case sfHier:
+		return "hier"
+	}
+	return "unknown"
+}
+
+// coalesce runs build under singleflight semantics for key: the first
+// caller becomes the leader and executes build (which publishes the stage
+// output to the memo registry); callers that arrive while the leader is
+// still running increment coalesced and park until the leader finishes.
+// On return the stage output for key is published.
+func (e *Engine) coalesce(key sfKey, coalesced *atomic.Int64, build func()) {
+	e.sfMu.Lock()
+	if f, ok := e.inflight[key]; ok {
+		e.sfMu.Unlock()
+		coalesced.Add(1)
+		<-f.done
+		return
+	}
+	f := &flight{done: make(chan struct{})}
+	e.inflight[key] = f
+	e.sfMu.Unlock()
+	defer func() {
+		e.sfMu.Lock()
+		delete(e.inflight, key)
+		e.sfMu.Unlock()
+		close(f.done)
+	}()
+	if hook := TestBuildHook; hook != nil {
+		hook(sfStageName(key.stage))
+	}
+	build()
 }
 
 // N returns the number of indexed points.
@@ -157,9 +237,15 @@ func (e *Engine) Tree(stats *mst.Stats) *kdtree.Tree {
 		e.c.treeHits.Add(1)
 		return t
 	}
-	e.buildMu.Lock()
-	defer e.buildMu.Unlock()
-	return e.treeLocked(stats)
+	e.coalesce(sfKey{stage: sfTree}, &e.c.treeCoalesced, func() {
+		e.buildMu.Lock()
+		defer e.buildMu.Unlock()
+		e.treeLocked(stats)
+	})
+	e.regMu.RLock()
+	t = e.tree
+	e.regMu.RUnlock()
+	return t
 }
 
 // treeLocked is the build-mutex-held stage body. The *Locked internals
@@ -196,9 +282,15 @@ func (e *Engine) CoreDist(minPts int, stats *mst.Stats) []float64 {
 		e.c.coreHits.Add(1)
 		return cd
 	}
-	e.buildMu.Lock()
-	defer e.buildMu.Unlock()
-	return e.coreDistLocked(minPts, stats)
+	e.coalesce(sfKey{stage: sfCore, minPts: minPts}, &e.c.coreCoalesced, func() {
+		e.buildMu.Lock()
+		defer e.buildMu.Unlock()
+		e.coreDistLocked(minPts, stats)
+	})
+	e.regMu.RLock()
+	cd = e.cores[minPts]
+	e.regMu.RUnlock()
+	return cd
 }
 
 func (e *Engine) coreDistLocked(minPts int, stats *mst.Stats) []float64 {
@@ -259,9 +351,13 @@ func (e *Engine) EMST(algo EMSTAlgo, stats *mst.Stats) []mst.Edge {
 		e.c.mstHits.Add(1)
 		return edges
 	}
-	e.buildMu.Lock()
-	defer e.buildMu.Unlock()
-	return e.emstLocked(key, algo, stats)
+	e.coalesce(sfKey{stage: sfMST, kind: KindEMST, algo: uint8(algo)}, &e.c.mstCoalesced, func() {
+		e.buildMu.Lock()
+		defer e.buildMu.Unlock()
+		e.emstLocked(key, algo, stats)
+	})
+	edges, _ := e.lookupMST(key)
+	return edges
 }
 
 func (e *Engine) emstLocked(key mstKey, algo EMSTAlgo, stats *mst.Stats) []mst.Edge {
@@ -317,9 +413,16 @@ func (e *Engine) HDBSCANMST(minPts int, algo hdbscan.Algorithm, stats *mst.Stats
 			return edges, cd
 		}
 	}
-	e.buildMu.Lock()
-	defer e.buildMu.Unlock()
-	return e.hdbscanMSTLocked(key, minPts, algo, stats)
+	e.coalesce(sfKey{stage: sfMST, kind: KindHDBSCAN, algo: uint8(algo), minPts: minPts}, &e.c.mstCoalesced, func() {
+		e.buildMu.Lock()
+		defer e.buildMu.Unlock()
+		e.hdbscanMSTLocked(key, minPts, algo, stats)
+	})
+	edges, _ := e.lookupMST(key)
+	e.regMu.RLock()
+	cd := e.cores[minPts]
+	e.regMu.RUnlock()
+	return edges, cd
 }
 
 func (e *Engine) hdbscanMSTLocked(key mstKey, minPts int, algo hdbscan.Algorithm, stats *mst.Stats) ([]mst.Edge, []float64) {
@@ -352,10 +455,21 @@ func (e *Engine) Hierarchy(kind Kind, algo uint8, minPts int, stats *mst.Stats) 
 		e.c.hierHits.Add(1)
 		return st
 	}
-	e.buildMu.Lock()
-	defer e.buildMu.Unlock()
+	e.coalesce(sfKey{stage: sfHier, kind: kind, algo: algo, minPts: key.MinPts}, &e.c.hierCoalesced, func() {
+		e.buildMu.Lock()
+		defer e.buildMu.Unlock()
+		e.hierarchyLocked(key, kind, algo, minPts, stats)
+	})
 	e.regMu.RLock()
 	st = e.hiers[key]
+	e.regMu.RUnlock()
+	return st
+}
+
+// hierarchyLocked is the build-mutex-held hierarchy stage body.
+func (e *Engine) hierarchyLocked(key mstKey, kind Kind, algo uint8, minPts int, stats *mst.Stats) *HierStage {
+	e.regMu.RLock()
+	st := e.hiers[key]
 	e.regMu.RUnlock()
 	if st != nil {
 		return st

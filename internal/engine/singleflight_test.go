@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"parclust/internal/hdbscan"
+	"parclust/internal/metric"
+)
+
+// holdBuildOpen installs a TestBuildHook that blocks the singleflight
+// leader of the given stage family until the returned release function is
+// called. The cleanup removes the hook.
+func holdBuildOpen(t *testing.T, stage string) (release func()) {
+	t.Helper()
+	gate := make(chan struct{})
+	TestBuildHook = func(s string) {
+		if s == stage {
+			<-gate
+		}
+	}
+	t.Cleanup(func() { TestBuildHook = nil })
+	var once sync.Once
+	return func() { once.Do(func() { close(gate) }) }
+}
+
+// waitForCoalesced polls read until it reaches want, failing the test (and
+// releasing the build gate) on timeout.
+func waitForCoalesced(t *testing.T, release func(), read func() int64, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for read() != want {
+		if time.Now().After(deadline) {
+			release()
+			t.Fatalf("timed out waiting for coalesced counter: got %d, want %d", read(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSingleflightColdTreeBuild proves that 16 concurrent cold tree
+// requests perform exactly one build: the build hook holds the leader's
+// build open until the other 15 requests have parked on its flight, so the
+// coalesced counter is deterministic, not schedule-dependent.
+func TestSingleflightColdTreeBuild(t *testing.T) {
+	const clients = 16
+	e := New(randPoints(400, 2, 7), metric.L2{})
+	release := holdBuildOpen(t, "tree")
+
+	var wg sync.WaitGroup
+	for range clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if e.Tree(nil) == nil {
+				t.Error("Tree returned nil")
+			}
+		}()
+	}
+	waitForCoalesced(t, release, func() int64 { return e.Counters().TreeCoalesced }, clients-1)
+	release()
+	wg.Wait()
+
+	c := e.Counters()
+	if c.TreeBuilds != 1 {
+		t.Fatalf("TreeBuilds = %d, want 1", c.TreeBuilds)
+	}
+	if c.TreeCoalesced != clients-1 {
+		t.Fatalf("TreeCoalesced = %d, want %d", c.TreeCoalesced, clients-1)
+	}
+	if c.Coalesced() != clients-1 {
+		t.Fatalf("Coalesced() = %d, want %d", c.Coalesced(), clients-1)
+	}
+	// A warm request after the dust settles is a plain hit.
+	e.Tree(nil)
+	if c := e.Counters(); c.TreeHits != 1 || c.TreeBuilds != 1 {
+		t.Fatalf("warm request: hits=%d builds=%d, want 1/1", c.TreeHits, c.TreeBuilds)
+	}
+}
+
+// TestSingleflightColdHierarchyQueries is the end-to-end variant: 16
+// concurrent cold HDBSCAN hierarchy queries on one dataset coalesce into a
+// single pipeline run — one tree build, one core-distance set, one MST, one
+// dendrogram — with the 15 followers counted as coalesced, and every
+// follower receives the leader's published stage.
+func TestSingleflightColdHierarchyQueries(t *testing.T) {
+	const clients = 16
+	e := New(randPoints(500, 2, 8), metric.L2{})
+	release := holdBuildOpen(t, "hier")
+
+	results := make([]*HierStage, clients)
+	var wg sync.WaitGroup
+	for i := range clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = e.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 10, nil)
+		}()
+	}
+	waitForCoalesced(t, release, func() int64 { return e.Counters().DendrogramCoalesced }, clients-1)
+	release()
+	wg.Wait()
+
+	c := e.Counters()
+	if c.TreeBuilds != 1 {
+		t.Fatalf("TreeBuilds = %d, want 1", c.TreeBuilds)
+	}
+	if c.CoreDistBuilds != 1 || c.MSTBuilds != 1 || c.DendrogramBuilds != 1 {
+		t.Fatalf("core=%d mst=%d dendro=%d builds, want 1/1/1",
+			c.CoreDistBuilds, c.MSTBuilds, c.DendrogramBuilds)
+	}
+	if c.Coalesced() != clients-1 {
+		t.Fatalf("Coalesced() = %d, want %d", c.Coalesced(), clients-1)
+	}
+	for i, st := range results {
+		if st == nil || st != results[0] {
+			t.Fatalf("client %d received a different (or nil) stage", i)
+		}
+	}
+}

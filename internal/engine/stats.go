@@ -5,44 +5,64 @@ import "sync/atomic"
 // counters tracks stage cache activity with atomics so hot read paths never
 // take a lock to record a hit.
 type counters struct {
-	treeBuilds atomic.Int64
-	treeHits   atomic.Int64
-	coreBuilds atomic.Int64
-	coreHits   atomic.Int64
-	mstBuilds  atomic.Int64
-	mstHits    atomic.Int64
-	hierBuilds atomic.Int64
-	hierHits   atomic.Int64
+	treeBuilds    atomic.Int64
+	treeHits      atomic.Int64
+	treeCoalesced atomic.Int64
+	coreBuilds    atomic.Int64
+	coreHits      atomic.Int64
+	coreCoalesced atomic.Int64
+	mstBuilds     atomic.Int64
+	mstHits       atomic.Int64
+	mstCoalesced  atomic.Int64
+	hierBuilds    atomic.Int64
+	hierHits      atomic.Int64
+	hierCoalesced atomic.Int64
 }
 
 // Counters is a point-in-time snapshot of an Engine's stage cache counters.
 // Builds count stage executions (cache misses that ran the computation);
-// Hits count queries answered from a memoized stage output. "Tree was built
+// Hits count queries answered from a memoized stage output; Coalesced
+// counts queries that arrived while another goroutine was already building
+// the same stage and parked on that build instead of triggering their own
+// (the singleflight outcome — neither a build nor a hit). "Tree was built
 // exactly once" is TreeBuilds == 1.
 type Counters struct {
-	// TreeBuilds / TreeHits: k-d tree constructions vs. reuses.
-	TreeBuilds, TreeHits int64
-	// CoreDistBuilds / CoreDistHits: core-distance computations (one per
-	// distinct minPts) vs. reuses.
-	CoreDistBuilds, CoreDistHits int64
-	// MSTBuilds / MSTHits: MST runs (one per distinct kind x algorithm x
-	// minPts) vs. reuses.
-	MSTBuilds, MSTHits int64
-	// DendrogramBuilds / DendrogramHits: ordered-dendrogram (+ cut
-	// structure) constructions vs. reuses.
-	DendrogramBuilds, DendrogramHits int64
+	// TreeBuilds / TreeHits / TreeCoalesced: k-d tree constructions vs.
+	// reuses vs. requests parked on an in-flight construction.
+	TreeBuilds, TreeHits, TreeCoalesced int64
+	// CoreDistBuilds / CoreDistHits / CoreDistCoalesced: core-distance
+	// computations (one per distinct minPts) vs. reuses vs. parked requests.
+	CoreDistBuilds, CoreDistHits, CoreDistCoalesced int64
+	// MSTBuilds / MSTHits / MSTCoalesced: MST runs (one per distinct kind x
+	// algorithm x minPts) vs. reuses vs. parked requests.
+	MSTBuilds, MSTHits, MSTCoalesced int64
+	// DendrogramBuilds / DendrogramHits / DendrogramCoalesced:
+	// ordered-dendrogram (+ cut structure) constructions vs. reuses vs.
+	// parked requests.
+	DendrogramBuilds, DendrogramHits, DendrogramCoalesced int64
+}
+
+// Coalesced returns the total number of requests, across all stages, that
+// parked on another goroutine's in-flight stage build instead of running
+// their own. After N concurrent identical cold queries, Coalesced is N-1.
+func (c Counters) Coalesced() int64 {
+	return c.TreeCoalesced + c.CoreDistCoalesced + c.MSTCoalesced + c.DendrogramCoalesced
 }
 
 // Counters returns a snapshot of the engine's stage cache counters.
 func (e *Engine) Counters() Counters {
 	return Counters{
-		TreeBuilds:       e.c.treeBuilds.Load(),
-		TreeHits:         e.c.treeHits.Load(),
-		CoreDistBuilds:   e.c.coreBuilds.Load(),
-		CoreDistHits:     e.c.coreHits.Load(),
-		MSTBuilds:        e.c.mstBuilds.Load(),
-		MSTHits:          e.c.mstHits.Load(),
-		DendrogramBuilds: e.c.hierBuilds.Load(),
-		DendrogramHits:   e.c.hierHits.Load(),
+		TreeBuilds:          e.c.treeBuilds.Load(),
+		TreeHits:            e.c.treeHits.Load(),
+		TreeCoalesced:       e.c.treeCoalesced.Load(),
+		CoreDistBuilds:      e.c.coreBuilds.Load(),
+		CoreDistHits:        e.c.coreHits.Load(),
+		CoreDistCoalesced:   e.c.coreCoalesced.Load(),
+		MSTBuilds:           e.c.mstBuilds.Load(),
+		MSTHits:             e.c.mstHits.Load(),
+		MSTCoalesced:        e.c.mstCoalesced.Load(),
+		DendrogramBuilds:    e.c.hierBuilds.Load(),
+		DendrogramHits:      e.c.hierHits.Load(),
+		DendrogramCoalesced: e.c.hierCoalesced.Load(),
 	}
 }

@@ -1,0 +1,468 @@
+// Package registry implements the multi-dataset serving store behind the
+// parclustd daemon: a sharded name -> value map with a configurable memory
+// budget, least-recently-used eviction, and per-entry reference counting.
+//
+// The memory budget is enforced at admission: Put evicts the
+// least-recently-used unpinned entries until the new value fits, and fails
+// with ErrOverBudget when everything still resident is pinned by in-flight
+// queries (a failed admission never disturbs a pinned entry). Explicit
+// eviction and replacement never release a value out from under a query:
+// Acquire pins an entry with a reference count, an evicted entry merely
+// becomes invisible to new Acquires, and its bytes stay charged against
+// the budget (and its OnRelease callback deferred) until the last
+// outstanding Handle is released. Values themselves are never mutated by
+// the registry, so a pinned value remains fully usable after eviction.
+//
+// All methods are safe for concurrent use. Lookups take one shard RLock
+// plus one LRU-list lock; the shards keep concurrent queries for different
+// datasets from contending on a single map mutex.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	// ErrTooLarge reports a value whose size alone exceeds the budget.
+	ErrTooLarge = errors.New("registry: value exceeds the memory budget")
+	// ErrOverBudget reports that the budget is exhausted and every resident
+	// byte is pinned by in-flight queries, so nothing can be evicted.
+	ErrOverBudget = errors.New("registry: memory budget exhausted by in-use entries")
+)
+
+// Registry is a sharded name -> value store with an LRU memory budget.
+// maxBytes <= 0 disables the budget (nothing is ever auto-evicted).
+type Registry[V any] struct {
+	// OnRelease, when non-nil, is called exactly once per evicted entry —
+	// after the entry has been removed from the map AND its last
+	// outstanding Handle released — from whichever goroutine performed the
+	// final step. Set it before the registry is shared; it must not call
+	// back into the registry for the same key.
+	OnRelease func(key string, val V)
+
+	maxBytes int64
+	mask     uint32
+	shards   []shard[V]
+
+	// mu guards the LRU list (oldest first), the byte account, and the
+	// eviction counter. Entry pin state lives under each entry's own mutex.
+	// Lock order: mu may nest an entry mutex inside it (Put's victim scan);
+	// no path may wait on mu while holding an entry mutex.
+	mu         sync.Mutex
+	head, tail *entry[V]
+	bytes      int64
+	evictions  int64
+}
+
+type shard[V any] struct {
+	mu sync.RWMutex
+	m  map[string]*entry[V]
+}
+
+type entry[V any] struct {
+	key   string
+	val   V
+	bytes int64
+
+	// mu guards the pin state below.
+	mu       sync.Mutex
+	refs     int
+	dead     bool // no longer acquirable; removed (or being removed) from its shard
+	released bool // bytes returned to the budget and OnRelease fired
+
+	// LRU links, guarded by Registry.mu. inLRU distinguishes "off-list
+	// because evicted" from "head/tail of list".
+	prev, next *entry[V]
+	inLRU      bool
+}
+
+// Handle is a pinned reference to a stored value: the value it exposes
+// cannot be released by eviction until Release is called. Release is
+// idempotent.
+type Handle[V any] struct {
+	r    *Registry[V]
+	e    *entry[V]
+	done atomic.Bool
+}
+
+// Value returns the pinned value.
+func (h *Handle[V]) Value() V { return h.e.val }
+
+// Key returns the name the value was stored under.
+func (h *Handle[V]) Key() string { return h.e.key }
+
+// Bytes returns the size the value was admitted with.
+func (h *Handle[V]) Bytes() int64 { return h.e.bytes }
+
+// Release unpins the value. If the entry was evicted while this handle was
+// outstanding and this was the last reference, the entry's bytes are
+// returned to the budget now and OnRelease fires.
+func (h *Handle[V]) Release() {
+	if !h.done.CompareAndSwap(false, true) {
+		return
+	}
+	e := h.e
+	e.mu.Lock()
+	e.refs--
+	free := e.dead && e.refs == 0 && !e.released
+	if free {
+		e.released = true
+	}
+	e.mu.Unlock()
+	if free {
+		h.r.creditBytes(e)
+	}
+}
+
+// New returns a registry with the given memory budget (<= 0: unlimited)
+// and shard count (<= 0: 16; rounded up to a power of two).
+func New[V any](maxBytes int64, shards int) *Registry[V] {
+	if shards <= 0 {
+		shards = 16
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	r := &Registry[V]{maxBytes: maxBytes, mask: uint32(n - 1), shards: make([]shard[V], n)}
+	for i := range r.shards {
+		r.shards[i].m = make(map[string]*entry[V])
+	}
+	return r
+}
+
+// shardFor hashes key with FNV-1a; the shard count is a power of two.
+func (r *Registry[V]) shardFor(key string) *shard[V] {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &r.shards[h&r.mask]
+}
+
+// Put stores val under key with the given size, replacing any existing
+// entry (the old value is evicted; its release is deferred if queries
+// still pin it). When the budget would be exceeded, least-recently-used
+// unpinned entries are evicted first, counting the replaced entry's own
+// unpinned bytes as reclaimable; Put fails with ErrOverBudget when the
+// resident pinned bytes leave no room, and with ErrTooLarge if bytes
+// exceeds the whole budget. A failed Put changes nothing for the key: the
+// existing entry (pinned or not) stays resident and serving.
+func (r *Registry[V]) Put(key string, val V, bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("registry: negative size %d for %q", bytes, key)
+	}
+	if r.maxBytes > 0 && bytes > r.maxBytes {
+		return ErrTooLarge
+	}
+	s := r.shardFor(key)
+	s.mu.RLock()
+	old := s.m[key]
+	s.mu.RUnlock()
+
+	e := &entry[V]{key: key, val: val, bytes: bytes}
+	var oldClaimed bool
+	r.mu.Lock()
+	// reclaimable reports how many bytes retiring the old same-key entry
+	// would free right now (0 when it is pinned, dead, or absent). Nesting
+	// an entry mutex under r.mu is safe: no other path waits on r.mu while
+	// holding an entry mutex.
+	reclaimable := func() int64 {
+		if old == nil {
+			return 0
+		}
+		old.mu.Lock()
+		defer old.mu.Unlock()
+		if old.dead || old.refs > 0 {
+			return 0
+		}
+		return old.bytes
+	}
+	for r.maxBytes > 0 && r.bytes+bytes-reclaimable() > r.maxBytes {
+		// Find the least-recently-used entry that no query pins. Pinned
+		// entries are skipped — evicting them could not free their bytes
+		// anyway — and the old same-key entry is reclaimed only after
+		// admission is certain, so a failed admission never disturbs a
+		// resident entry.
+		var victim *entry[V]
+		for cand := r.head; cand != nil; cand = cand.next {
+			if cand == old {
+				continue
+			}
+			cand.mu.Lock()
+			if cand.refs == 0 && !cand.dead {
+				// Claim it before any Acquire can pin it; the bytes are
+				// credited below, so mark it released here.
+				cand.dead = true
+				cand.released = true
+				cand.mu.Unlock()
+				victim = cand
+				break
+			}
+			cand.mu.Unlock()
+		}
+		if victim == nil {
+			r.mu.Unlock()
+			return ErrOverBudget
+		}
+		r.unlink(victim)
+		r.bytes -= victim.bytes
+		r.evictions++
+		r.mu.Unlock()
+		// Remove the victim from its shard unless a concurrent Evict or
+		// Put already did, then notify.
+		vs := r.shardFor(victim.key)
+		vs.mu.Lock()
+		if vs.m[victim.key] == victim {
+			delete(vs.m, victim.key)
+		}
+		vs.mu.Unlock()
+		if r.OnRelease != nil {
+			r.OnRelease(victim.key, victim.val)
+		}
+		r.mu.Lock()
+	}
+	// Admission is certain: reclaim the replaced entry now if it is still
+	// unpinned (a pinned one is retired with deferred release at the
+	// insert below — its bytes stay charged until its queries drain; if it
+	// was pinned after the loop relied on reclaiming it, the budget can
+	// transiently overshoot by that one entry until then).
+	if old != nil {
+		old.mu.Lock()
+		if !old.dead && old.refs == 0 {
+			old.dead = true
+			old.released = true
+			oldClaimed = true
+			r.bytes -= old.bytes
+			r.evictions++
+			if old.inLRU {
+				r.unlink(old)
+			}
+		}
+		old.mu.Unlock()
+	}
+	r.bytes += bytes
+	r.mu.Unlock()
+
+	if oldClaimed {
+		s.mu.Lock()
+		if s.m[key] == old {
+			delete(s.m, key)
+		}
+		s.mu.Unlock()
+		if r.OnRelease != nil {
+			r.OnRelease(old.key, old.val)
+		}
+	}
+
+	// Insert into the shard before linking into the LRU: a concurrent
+	// admission scan must not be able to evict an entry that no Acquire
+	// can see yet.
+	s.mu.Lock()
+	prev := s.m[key]
+	s.m[key] = e
+	s.mu.Unlock()
+	if prev != nil {
+		// The old entry was pinned (deferred release), or a concurrent Put
+		// for the same key slipped in; retire the loser.
+		r.retire(prev)
+	}
+
+	r.mu.Lock()
+	e.mu.Lock()
+	if !e.dead {
+		// A concurrent Evict may have already retired e through the shard
+		// map; a dead entry must not re-enter the LRU.
+		r.pushBack(e)
+		e.inLRU = true
+	}
+	e.mu.Unlock()
+	r.mu.Unlock()
+	return nil
+}
+
+// pin looks up key and takes a reference on the live entry; the false
+// result covers absent and evicted keys alike.
+func (r *Registry[V]) pin(key string) (*Handle[V], bool) {
+	s := r.shardFor(key)
+	s.mu.RLock()
+	e := s.m[key]
+	s.mu.RUnlock()
+	if e == nil {
+		return nil, false
+	}
+	e.mu.Lock()
+	if e.dead {
+		e.mu.Unlock()
+		return nil, false
+	}
+	e.refs++
+	e.mu.Unlock()
+	return &Handle[V]{r: r, e: e}, true
+}
+
+// Acquire pins and returns the value stored under key, bumping its LRU
+// recency. The second result is false when the key is absent or evicted.
+// Callers must Release the handle when the query is done.
+func (r *Registry[V]) Acquire(key string) (*Handle[V], bool) {
+	h, ok := r.pin(key)
+	if !ok {
+		return nil, false
+	}
+	e := h.e
+	r.mu.Lock()
+	if e.inLRU {
+		r.unlink(e)
+		r.pushBack(e)
+		e.inLRU = true
+	}
+	r.mu.Unlock()
+	return h, true
+}
+
+// Peek is Acquire without the LRU recency bump, for admin surfaces (stats,
+// listings) that must not distort the eviction order. The handle pins the
+// value exactly like Acquire's and must be Released.
+func (r *Registry[V]) Peek(key string) (*Handle[V], bool) {
+	return r.pin(key)
+}
+
+// Evict removes key from the registry so no future Acquire can see it, and
+// reports whether it was present. Bytes (and OnRelease) are deferred until
+// outstanding handles drain; queries already holding the value keep a
+// fully usable reference.
+func (r *Registry[V]) Evict(key string) bool {
+	s := r.shardFor(key)
+	s.mu.Lock()
+	e := s.m[key]
+	if e != nil {
+		delete(s.m, key)
+	}
+	s.mu.Unlock()
+	if e == nil {
+		return false
+	}
+	r.retire(e)
+	return true
+}
+
+// retire finalizes an entry that has been removed from its shard map:
+// marks it dead, unlinks it from the LRU, counts the eviction, and credits
+// its bytes back now if unpinned (the last Release does it otherwise).
+func (r *Registry[V]) retire(e *entry[V]) {
+	e.mu.Lock()
+	if e.dead {
+		// Already retired by a racing path; bytes are handled exactly once
+		// via the released flag, nothing left to do.
+		e.mu.Unlock()
+		return
+	}
+	e.dead = true
+	free := e.refs == 0 && !e.released
+	if free {
+		e.released = true
+	}
+	e.mu.Unlock()
+	r.mu.Lock()
+	if e.inLRU {
+		r.unlink(e)
+	}
+	r.evictions++
+	r.mu.Unlock()
+	if free {
+		r.creditBytes(e)
+	}
+}
+
+// creditBytes returns a retired entry's bytes to the budget and fires
+// OnRelease. Called exactly once per entry (guarded by entry.released).
+func (r *Registry[V]) creditBytes(e *entry[V]) {
+	r.mu.Lock()
+	r.bytes -= e.bytes
+	r.mu.Unlock()
+	if r.OnRelease != nil {
+		r.OnRelease(e.key, e.val)
+	}
+}
+
+// unlink removes e from the LRU list (Registry.mu held).
+func (r *Registry[V]) unlink(e *entry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		r.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		r.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	e.inLRU = false
+}
+
+// pushBack appends e as the most recently used entry (Registry.mu held).
+func (r *Registry[V]) pushBack(e *entry[V]) {
+	e.prev = r.tail
+	e.next = nil
+	if r.tail != nil {
+		r.tail.next = e
+	} else {
+		r.head = e
+	}
+	r.tail = e
+}
+
+// Keys returns the resident keys in sorted order.
+func (r *Registry[V]) Keys() []string {
+	var keys []string
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for k := range s.m {
+			keys = append(keys, k)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Len returns the number of resident (acquirable) entries.
+func (r *Registry[V]) Len() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats is a snapshot of the registry occupancy.
+type Stats struct {
+	// Entries is the number of resident (acquirable) entries.
+	Entries int
+	// Bytes is the charged budget, including evicted entries whose release
+	// is deferred behind in-flight queries.
+	Bytes int64
+	// MaxBytes is the configured budget (<= 0: unlimited).
+	MaxBytes int64
+	// Evictions counts entries removed for any reason: LRU pressure,
+	// explicit Evict, and Put replacement.
+	Evictions int64
+}
+
+// Stats returns a snapshot of the registry occupancy.
+func (r *Registry[V]) Stats() Stats {
+	r.mu.Lock()
+	b, ev := r.bytes, r.evictions
+	r.mu.Unlock()
+	return Stats{Entries: r.Len(), Bytes: b, MaxBytes: r.maxBytes, Evictions: ev}
+}
