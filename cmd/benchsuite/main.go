@@ -41,32 +41,53 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment to run (table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10 memory pairs metrics serve daemon all)")
-	nFlag       = flag.Int("n", 10000, "points per dataset")
-	minPtsFlag  = flag.Int("minpts", 10, "HDBSCAN* minPts")
-	seedFlag    = flag.Int64("seed", 42, "generator seed")
-	threadsFlag = flag.String("threads", "", "comma-separated thread counts for scaling experiments (default: 1,...,NumCPU)")
-	rhoFlag     = flag.Float64("rho", 0.125, "approximation parameter for fig10")
-	pairBudget  = flag.Int("pairbudget", 20_000_000, "skip full-WSPD algorithms when the pair count exceeds this budget (mirrors the paper's '-' entries)")
-	jsonFlag    = flag.String("json", "", "write a JSON run summary (per-experiment wall times and run metadata) to this file")
+	expFlag      = flag.String("exp", "all", "experiment to run (table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10 memory pairs metrics serve daemon all)")
+	nFlag        = flag.Int("n", 10000, "points per dataset")
+	minPtsFlag   = flag.Int("minpts", 10, "HDBSCAN* minPts")
+	seedFlag     = flag.Int64("seed", 42, "generator seed")
+	threadsFlag  = flag.String("threads", "", "comma-separated thread counts for scaling experiments (default: 1,...,NumCPU)")
+	rhoFlag      = flag.Float64("rho", 0.125, "approximation parameter for fig10")
+	pairBudget   = flag.Int("pairbudget", 20_000_000, "skip full-WSPD algorithms when the pair count exceeds this budget (mirrors the paper's '-' entries)")
+	jsonFlag     = flag.String("json", "", "write a JSON run summary (per-experiment wall times and run metadata) to this file")
+	benchfmtFlag = flag.String("benchfmt", "", "append Go benchmark-format result lines (benchstat input) to this file")
 )
 
 // jsonSummary is the machine-readable record of one benchsuite run, written
 // by -json so CI can archive BENCH_*.json trajectories across commits.
 type jsonSummary struct {
-	N           int       `json:"n"`
-	MinPts      int       `json:"minpts"`
-	Seed        int64     `json:"seed"`
-	NumCPU      int       `json:"numcpu"`
-	GoVersion   string    `json:"go_version"`
-	Threads     []int     `json:"threads"`
-	Experiments []expTime `json:"experiments"`
+	N           int              `json:"n"`
+	MinPts      int              `json:"minpts"`
+	Seed        int64            `json:"seed"`
+	NumCPU      int              `json:"numcpu"`
+	GoVersion   string           `json:"go_version"`
+	Threads     []int            `json:"threads"`
+	Experiments []expTime        `json:"experiments"`
+	Daemon      []daemonBenchRow `json:"daemon,omitempty"`
 }
 
 type expTime struct {
 	Name    string  `json:"name"`
 	Seconds float64 `json:"seconds"`
 }
+
+// daemonBenchRow is one (mode, clients) cell of the daemon experiment:
+// throughput, tail latency, and the peak Go-heap footprint of the phase.
+type daemonBenchRow struct {
+	Mode     string  `json:"mode"`
+	Clients  int     `json:"clients"`
+	Queries  int64   `json:"queries"`
+	QPS      float64 `json:"qps"`
+	P50ms    float64 `json:"p50_ms"`
+	P99ms    float64 `json:"p99_ms"`
+	PeakHeap uint64  `json:"peak_heap_bytes"`
+}
+
+// daemonRows / benchfmtLines collect daemonStudy output for the -json
+// summary and the -benchfmt series file.
+var (
+	daemonRows    []daemonBenchRow
+	benchfmtLines []string
+)
 
 func main() {
 	flag.Parse()
@@ -122,6 +143,19 @@ func main() {
 			os.Exit(2)
 		}
 		summary.Experiments = append(summary.Experiments, expTime{Name: name, Seconds: time.Since(start).Seconds()})
+	}
+	summary.Daemon = daemonRows
+	if *benchfmtFlag != "" && len(benchfmtLines) > 0 {
+		f, err := os.OpenFile(*benchfmtFlag, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "open %s: %v\n", *benchfmtFlag, err)
+			os.Exit(1)
+		}
+		for _, line := range benchfmtLines {
+			fmt.Fprintln(f, line)
+		}
+		f.Close()
+		fmt.Printf("# appended %d benchmark-format lines to %s\n", len(benchfmtLines), *benchfmtFlag)
 	}
 	if *jsonFlag != "" {
 		buf, err := json.MarshalIndent(summary, "", "  ")
@@ -689,17 +723,90 @@ func serveStudy() {
 	fmt.Printf("speedup       | %.2fx\n", qpsIndex/qpsOneShot)
 }
 
+// peakSampler tracks the peak Go heap during one bench phase by polling
+// runtime.MemStats. HeapAlloc is the phase-comparable footprint proxy: OS
+// RSS (VmHWM) is a process-lifetime high-water mark that never comes back
+// down, so it cannot distinguish a lean phase from a fat one inside a
+// single run. The absolute VmHWM is still printed once at the end of the
+// study for operators who budget in RSS terms.
+type peakSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak atomic.Uint64
+}
+
+func startPeakSampler() *peakSampler {
+	runtime.GC() // a clean baseline so the previous phase's garbage doesn't count
+	s := &peakSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		var ms runtime.MemStats
+		t := time.NewTicker(2 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > s.peak.Load() {
+					s.peak.Store(ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+	return s
+}
+
+// Stop ends sampling and returns the observed peak heap in bytes.
+func (s *peakSampler) Stop() uint64 {
+	close(s.stop)
+	<-s.done
+	return s.peak.Load()
+}
+
+// percentile returns the q-quantile of sorted latency samples.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+// vmHWM reads the process RSS high-water mark from /proc (0 off Linux).
+func vmHWM() int64 {
+	raw, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 {
+				kb, _ := strconv.ParseInt(fields[0], 10, 64)
+				return kb << 10
+			}
+		}
+	}
+	return 0
+}
+
 // daemonStudy measures the serving layer end to end: an in-process
 // parclustd handler hosts one warm dataset, and 1/4/16 concurrent HTTP
-// clients sweep HDBSCAN* cuts against it for a fixed wall-clock window.
-// Every query rides the memoized stage pipeline (warm cuts are near-O(n)
-// and lock-free), so aggregate queries/sec should scale with cores until
-// the machine saturates; the 16-vs-1 ratio is the serving-layer
-// concurrency win. Requests use keep-alive connections and labels=false
-// responses so the measurement tracks query execution, not payload
-// shipping.
+// clients sweep HDBSCAN* cuts against it for a fixed wall-clock window, in
+// both response modes — buffered JSON documents and chunked NDJSON
+// streams — with full label payloads. Every query rides the memoized
+// stage pipeline (warm cuts are cut-cache hits), so the comparison
+// isolates the serving layer: throughput, p50/p99 latency, and the peak
+// Go heap of each phase. Buffered mode materializes every response before
+// the first byte (json.Encoder builds the whole document), so its peak
+// grows with clients x document size; streaming holds one chunk per
+// in-flight request and should show a flatter peak at 16 clients.
+//
+// A second section batches a full minpts x eps grid into one POST /sweep
+// request and compares it against the equivalent client-side query loop.
 func daemonStudy() {
-	fmt.Println("\n## Daemon: aggregate queries/sec, 1/4/16 concurrent clients on one warm dataset")
+	fmt.Println("\n## Daemon: buffered vs streamed serving, 1/4/16 concurrent clients on one warm dataset")
 	old := runtime.GOMAXPROCS(runtime.NumCPU())
 	defer runtime.GOMAXPROCS(old)
 
@@ -748,7 +855,7 @@ func daemonStudy() {
 	epsList := []float64{quantile(0.5), quantile(0.7), quantile(0.8), quantile(0.9), quantile(0.95)}
 	paths := make([]string, len(epsList))
 	for i, eps := range epsList {
-		paths[i] = fmt.Sprintf("/v1/datasets/bench/hdbscan?minpts=%d&eps=%g&labels=false", *minPtsFlag, eps)
+		paths[i] = fmt.Sprintf("/v1/datasets/bench/hdbscan?minpts=%d&eps=%g", *minPtsFlag, eps)
 	}
 	warm := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
 	for _, p := range paths {
@@ -764,11 +871,17 @@ func daemonStudy() {
 	}
 
 	const window = 1200 * time.Millisecond
-	fmt.Printf("note: queries are CPU-bound, so the concurrency speedup is bounded by NumCPU=%d\n", runtime.NumCPU())
-	fmt.Println("clients | queries | seconds | agg_qps | speedup_vs_1")
-	var qps1 float64
-	for _, clients := range []int{1, 4, 16} {
-		var total, failed atomic.Int64
+	// runPhase hammers the eps ladder from `clients` concurrent keep-alive
+	// connections for one wall-clock window, recording per-request latency
+	// and the phase's peak heap.
+	runPhase := func(mode string, clients int) daemonBenchRow {
+		accept := ""
+		if mode == "ndjson" {
+			accept = "application/x-ndjson"
+		}
+		var failed atomic.Int64
+		latCh := make(chan []time.Duration, clients)
+		sampler := startPeakSampler()
 		deadline := time.Now().Add(window)
 		start := time.Now()
 		var wg sync.WaitGroup
@@ -778,8 +891,17 @@ func daemonStudy() {
 				defer wg.Done()
 				client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
 				defer client.CloseIdleConnections()
+				var lats []time.Duration
 				for i := c; time.Now().Before(deadline); i++ {
-					r, err := client.Get(ts.URL + paths[i%len(paths)])
+					req, err := http.NewRequest(http.MethodGet, ts.URL+paths[i%len(paths)], nil)
+					if err != nil {
+						panic(err)
+					}
+					if accept != "" {
+						req.Header.Set("Accept", accept)
+					}
+					t0 := time.Now()
+					r, err := client.Do(req)
 					if err != nil {
 						failed.Add(1)
 						continue
@@ -790,29 +912,109 @@ func daemonStudy() {
 						failed.Add(1)
 						continue
 					}
-					total.Add(1)
+					lats = append(lats, time.Since(t0))
 				}
+				latCh <- lats
 			}(c)
 		}
 		wg.Wait()
 		elapsed := time.Since(start).Seconds()
+		peak := sampler.Stop()
+		close(latCh)
+		var all []time.Duration
+		for lats := range latCh {
+			all = append(all, lats...)
+		}
 		if failed.Load() > 0 {
 			panic(fmt.Sprintf("%d daemon bench queries failed", failed.Load()))
 		}
-		qps := float64(total.Load()) / elapsed
-		if clients == 1 {
-			qps1 = qps
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		row := daemonBenchRow{
+			Mode:     mode,
+			Clients:  clients,
+			Queries:  int64(len(all)),
+			QPS:      float64(len(all)) / elapsed,
+			P50ms:    percentile(all, 0.50).Seconds() * 1e3,
+			P99ms:    percentile(all, 0.99).Seconds() * 1e3,
+			PeakHeap: peak,
 		}
-		fmt.Printf("%d | %d | %.3f | %.1f | %.2fx\n", clients, total.Load(), elapsed, qps, qps/qps1)
+		benchfmtLines = append(benchfmtLines, fmt.Sprintf(
+			"BenchmarkDaemonQuery/mode=%s/clients=%d %d %.0f p50-ns/op %.0f p99-ns/op %d peak-heap-bytes",
+			mode, clients, row.Queries, row.P50ms*1e6, row.P99ms*1e6, row.PeakHeap))
+		return row
 	}
 
+	fmt.Printf("note: queries are CPU-bound, so the concurrency speedup is bounded by NumCPU=%d\n", runtime.NumCPU())
+	fmt.Println("mode | clients | queries | agg_qps | p50_ms | p99_ms | peak_heap_MiB")
+	for _, mode := range []string{"buffered", "ndjson"} {
+		for _, clients := range []int{1, 4, 16} {
+			row := runPhase(mode, clients)
+			daemonRows = append(daemonRows, row)
+			fmt.Printf("%s | %d | %d | %.1f | %.3f | %.3f | %.1f\n",
+				row.Mode, row.Clients, row.Queries, row.QPS, row.P50ms, row.P99ms,
+				float64(row.PeakHeap)/(1<<20))
+		}
+	}
+
+	// Batched grid execution: one POST /sweep runs the whole minpts x eps
+	// grid against the warm Index, vs the equivalent client-side loop of
+	// per-cell /hdbscan requests (both read the same memoized stages, so
+	// the difference is pure per-request overhead and payload count).
+	sweepMinPts := []int{*minPtsFlag, *minPtsFlag + 5, *minPtsFlag + 10}
+	sweepBody, err := json.Marshal(map[string]any{"minpts": sweepMinPts, "eps": epsList})
+	if err != nil {
+		panic(err)
+	}
+	doSweep := func() time.Duration {
+		t0 := time.Now()
+		r, err := warm.Post(ts.URL+"/v1/datasets/bench/sweep", "application/json", bytes.NewReader(sweepBody))
+		if err != nil {
+			panic(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("sweep: status %d", r.StatusCode))
+		}
+		return time.Since(t0)
+	}
+	doLoop := func() time.Duration {
+		t0 := time.Now()
+		for _, mp := range sweepMinPts {
+			for _, eps := range epsList {
+				r, err := warm.Get(ts.URL + fmt.Sprintf("/v1/datasets/bench/hdbscan?minpts=%d&eps=%g&labels=false", mp, eps))
+				if err != nil {
+					panic(err)
+				}
+				io.Copy(io.Discard, r.Body)
+				r.Body.Close()
+				if r.StatusCode != http.StatusOK {
+					panic(fmt.Sprintf("loop cell: status %d", r.StatusCode))
+				}
+			}
+		}
+		return time.Since(t0)
+	}
+	cells := len(sweepMinPts) * len(epsList)
+	doSweep() // cold pass builds the two extra minPts stages and fills the cut caches
+	sweepWarm, loopWarm := doSweep(), doLoop()
+	fmt.Printf("\nbatched grid: %dx%d cells | sweep_warm %.3fms | loop_warm %.3fms (%d requests)\n",
+		len(sweepMinPts), len(epsList), sweepWarm.Seconds()*1e3, loopWarm.Seconds()*1e3, cells)
+	benchfmtLines = append(benchfmtLines,
+		fmt.Sprintf("BenchmarkDaemonGrid/mode=sweep/cells=%d 1 %d ns/op", cells, sweepWarm.Nanoseconds()),
+		fmt.Sprintf("BenchmarkDaemonGrid/mode=loop/cells=%d 1 %d ns/op", cells, loopWarm.Nanoseconds()))
+
 	// The stage counters prove the whole run was served from one pipeline
-	// build (plus any cold requests coalesced behind it).
+	// build per minPts (plus any cold requests coalesced behind it), with
+	// warm cuts answered from the cut-result cache.
 	var stats struct {
 		Datasets map[string]struct {
 			Counters struct {
 				TreeBuilds     int64 `json:"tree_builds"`
+				MSTBuilds      int64 `json:"mst_builds"`
 				DendrogramHits int64 `json:"dendrogram_hits"`
+				CutBuilds      int64 `json:"cut_builds"`
+				CutHits        int64 `json:"cut_hits"`
 				CoalescedTotal int64 `json:"coalesced_total"`
 			} `json:"counters"`
 		} `json:"datasets"`
@@ -826,8 +1028,11 @@ func daemonStudy() {
 	}
 	r.Body.Close()
 	c := stats.Datasets["bench"].Counters
-	fmt.Printf("stage counters: tree_builds=%d dendrogram_hits=%d coalesced=%d\n",
-		c.TreeBuilds, c.DendrogramHits, c.CoalescedTotal)
+	fmt.Printf("stage counters: tree_builds=%d mst_builds=%d dendrogram_hits=%d cut_builds=%d cut_hits=%d coalesced=%d\n",
+		c.TreeBuilds, c.MSTBuilds, c.DendrogramHits, c.CutBuilds, c.CutHits, c.CoalescedTotal)
+	if hwm := vmHWM(); hwm > 0 {
+		fmt.Printf("process VmHWM (lifetime RSS high-water): %.1f MiB\n", float64(hwm)/(1<<20))
+	}
 }
 
 func pairStudy() {

@@ -34,11 +34,12 @@ import (
 )
 
 var (
-	addrFlag      = flag.String("addr", ":8650", "listen address")
-	maxBytesFlag  = flag.Int64("max-bytes", 1<<30, "dataset registry memory budget in bytes (0 = unlimited): uploads are admitted against Index.ApproxBytes estimates, evicting idle datasets LRU-first, and refused with 507 when everything resident is pinned by in-flight queries")
-	shardsFlag    = flag.Int("shards", 16, "registry shard count (rounded up to a power of two)")
-	maxUploadFlag = flag.Int64("max-upload-bytes", 1<<30, "largest accepted upload request body in bytes")
-	drainFlag     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight queries")
+	addrFlag       = flag.String("addr", ":8650", "listen address")
+	maxBytesFlag   = flag.Int64("max-bytes", 1<<30, "dataset registry memory budget in bytes (0 = unlimited): uploads are admitted against Index.ApproxBytes estimates, evicting idle datasets LRU-first, and refused with 507 when everything resident is pinned by in-flight queries")
+	shardsFlag     = flag.Int("shards", 16, "registry shard count (rounded up to a power of two)")
+	maxUploadFlag  = flag.Int64("max-upload-bytes", 1<<30, "largest accepted upload request body in bytes")
+	sweepCellsFlag = flag.Int("sweep-max-cells", 10000, "largest minpts x eps grid one POST /v1/datasets/{name}/sweep request may ask for")
+	drainFlag      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight queries")
 )
 
 func main() {
@@ -47,6 +48,7 @@ func main() {
 		MaxBytes:       *maxBytesFlag,
 		Shards:         *shardsFlag,
 		MaxUploadBytes: *maxUploadFlag,
+		MaxSweepCells:  *sweepCellsFlag,
 	})
 	hs := &http.Server{
 		Addr:              *addrFlag,

@@ -107,6 +107,13 @@
 // budget negotiated at admission time still holds after sweep traffic has
 // populated the stage caches.
 //
+// One component of ApproxBytes is dynamic: each hierarchy stage memoizes
+// flat-cut results in a bounded per-stage cache (repeated ClustersAt radii
+// are O(1); see CutBuilds/CutHits in Counters), and ApproxBytes includes
+// the labels currently retained by those caches. The daemon re-charges a
+// dataset's registry accounting after every sweep request, so cut-cache
+// growth stays visible to the admission budget between uploads.
+//
 // # Quick start
 //
 //	pts := parclust.GenerateUniform(100000, 2, 42)

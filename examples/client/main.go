@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -84,22 +85,77 @@ func main() {
 	fmt.Printf("uploaded %q: n=%d dim=%d (~%.1f MiB admitted)\n",
 		info.Name, info.N, info.Dim, float64(info.Bytes)/(1<<20))
 
-	// Sweep minPts x eps. The server pays one tree build for everything,
-	// one core-distance + MST run per minPts, and near-O(n) per cut.
+	// Sweep minPts x eps as one batched request: the server pays one tree
+	// build for everything, one core-distance + MST run per minPts, and
+	// one cached cut per cell — and the client pays one round-trip instead
+	// of fifteen.
 	type flat struct {
 		NumClusters int `json:"num_clusters"`
 		NumNoise    int `json:"num_noise"`
 	}
-	for _, minPts := range []int{5, *minPtsFlag, 25} {
-		fmt.Printf("hdbscan minPts=%d:", minPts)
-		for _, eps := range []float64{0.5, 1, 2, 4, 8} {
-			var res flat
-			call(http.MethodGet,
-				fmt.Sprintf("%s/v1/datasets/%s/hdbscan?minpts=%d&eps=%g&labels=false", base, *nameFlag, minPts, eps),
-				nil, &res)
-			fmt.Printf("  eps=%g->%d clusters/%d noise", eps, res.NumClusters, res.NumNoise)
+	sweepBody, err := json.Marshal(map[string]any{
+		"minpts": []int{5, *minPtsFlag, 25},
+		"eps":    []float64{0.5, 1, 2, 4, 8},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sweep struct {
+		NumCells int `json:"num_cells"`
+		Cells    []struct {
+			MinPts int     `json:"minpts"`
+			Eps    float64 `json:"eps"`
+			flat
+		} `json:"cells"`
+	}
+	call(http.MethodPost, fmt.Sprintf("%s/v1/datasets/%s/sweep", base, *nameFlag), sweepBody, &sweep)
+	fmt.Printf("sweep: %d cells in one request\n", sweep.NumCells)
+	lastMinPts := -1
+	for _, cell := range sweep.Cells {
+		if cell.MinPts != lastMinPts {
+			if lastMinPts != -1 {
+				fmt.Println()
+			}
+			fmt.Printf("hdbscan minPts=%d:", cell.MinPts)
+			lastMinPts = cell.MinPts
 		}
-		fmt.Println()
+		fmt.Printf("  eps=%g->%d clusters/%d noise", cell.Eps, cell.NumClusters, cell.NumNoise)
+	}
+	fmt.Println()
+
+	// The same query as a chunked NDJSON stream: header, label chunks, and
+	// a {"done":true} trailer, flushed record by record, so a client can
+	// start consuming labels before the server has serialized the rest.
+	streamURL := fmt.Sprintf("%s/v1/datasets/%s/hdbscan?minpts=%d&eps=2", base, *nameFlag, *minPtsFlag)
+	req, err := http.NewRequest(http.MethodGet, streamURL, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var streamed int
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	for sc.Scan() {
+		var chunk struct {
+			Labels []int32 `json:"labels"`
+			Done   bool    `json:"done"`
+			Items  int     `json:"items"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &chunk); err != nil {
+			log.Fatalf("decode stream record: %v", err)
+		}
+		streamed += len(chunk.Labels)
+		if chunk.Done {
+			fmt.Printf("ndjson stream: %d labels in %d-item stream, trailer ok\n", streamed, chunk.Items)
+		}
+	}
+	resp.Body.Close()
+	if err := sc.Err(); err != nil {
+		log.Fatalf("read stream: %v", err)
 	}
 
 	// Stability-based extraction needs no radius at all.
@@ -125,20 +181,23 @@ func main() {
 	call(http.MethodGet, fmt.Sprintf("%s/v1/datasets/%s/knn?q=0&k=4", base, *nameFlag), nil, &knn)
 	fmt.Printf("4-NN of point 0: %v\n", knn.Neighbors)
 
-	// The stage counters prove one tree build served every query above.
+	// The stage counters prove one tree build served every query above,
+	// with repeated cuts answered from the cut-result cache.
 	var stats struct {
 		Counters struct {
 			TreeBuilds     int64 `json:"tree_builds"`
 			CoreDistBuilds int64 `json:"core_dist_builds"`
 			MSTBuilds      int64 `json:"mst_builds"`
 			DendrogramHits int64 `json:"dendrogram_hits"`
+			CutBuilds      int64 `json:"cut_builds"`
+			CutHits        int64 `json:"cut_hits"`
 			CoalescedTotal int64 `json:"coalesced_total"`
 		} `json:"counters"`
 	}
 	call(http.MethodGet, base+"/v1/datasets/"+*nameFlag, nil, &stats)
 	c := stats.Counters
-	fmt.Printf("stage counters: tree_builds=%d core_dist_builds=%d mst_builds=%d dendrogram_hits=%d coalesced=%d\n",
-		c.TreeBuilds, c.CoreDistBuilds, c.MSTBuilds, c.DendrogramHits, c.CoalescedTotal)
+	fmt.Printf("stage counters: tree_builds=%d core_dist_builds=%d mst_builds=%d dendrogram_hits=%d cut_builds=%d cut_hits=%d coalesced=%d\n",
+		c.TreeBuilds, c.CoreDistBuilds, c.MSTBuilds, c.DendrogramHits, c.CutBuilds, c.CutHits, c.CoalescedTotal)
 
 	if !*keepFlag {
 		call(http.MethodDelete, base+"/v1/datasets/"+*nameFlag, nil, nil)

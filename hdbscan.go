@@ -210,8 +210,16 @@ func (h *Hierarchy) cut() *dendrogram.Cutter {
 // MST edges of weight at most eps. For single-linkage hierarchies every
 // point is core. The first call precomputes the sorted merge order; every
 // call after that runs in O(n) with no union-find and no edge re-walk, so
-// sweeping many radii over one hierarchy is cheap.
+// sweeping many radii over one hierarchy is cheap. Index-backed
+// hierarchies additionally memoize cut results per radius in a bounded
+// per-stage cache, so a repeated identical cut is O(1); the returned
+// Labels slice is then shared with every other caller of the same (stage,
+// eps) pair and must be treated as read-only, like every other slice an
+// Index exposes.
 func (h *Hierarchy) ClustersAt(eps float64) Clustering {
+	if h.stage != nil {
+		return h.stage.CutAt(eps)
+	}
 	return h.cut().CutAt(eps)
 }
 

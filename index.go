@@ -97,13 +97,16 @@ func (ix *Index) Stats() IndexStats { return ix.eng.Counters() }
 
 // ApproxBytes estimates the resident memory of a warm Index in bytes: the
 // retained input rows, the k-d tree (kd-ordered point copy, ~2n arena
-// nodes with their [lo|hi|ctr] geometry blocks, the two permutations), and
-// a fully-exercised stage cache (an allowance of four core-distance sets,
-// two MST edge lists, and the dendrogram + cut structures). The serving
-// registry charges this estimate against its -max-bytes budget at upload
-// time; it is a sizing model, not an accounting of live allocations, and
-// deliberately errs on the warm side so a budget holds under sweep
-// traffic.
+// nodes with their [lo|hi|ctr] geometry blocks, the two permutations), a
+// fully-exercised stage cache (an allowance of four core-distance sets,
+// two MST edge lists, and the dendrogram + cut structures), plus the
+// actual resident size of the cut-result caches (the one component that
+// grows after warmup — each cached cut retains ~4·n bytes of labels,
+// bounded per hierarchy stage). The serving registry charges this estimate
+// against its -max-bytes budget at upload time and re-charges it after
+// sweep traffic has populated the cut caches; it is a sizing model, not an
+// accounting of live allocations, and deliberately errs on the warm side
+// so a budget holds under sweep traffic.
 func (ix *Index) ApproxBytes() int64 {
 	n, dim := int64(ix.N()), int64(ix.Dim())
 	if n == 0 {
@@ -112,7 +115,7 @@ func (ix *Index) ApproxBytes() int64 {
 	pts := 8 * n * dim                      // caller's rows, retained by reference
 	tree := 8*n*dim + 2*n*(24*dim+64) + 8*n // kd-order copy + node slab/geometry + Orig/Inv
 	cache := 4*8*n + 2*24*n + 96*n          // core-distance sets + MSTs + dendrogram/cutter
-	return pts + tree + cache + 4096
+	return pts + tree + cache + ix.eng.CutCacheBytes() + 4096
 }
 
 // HDBSCAN returns the memoized HDBSCAN* hierarchy for minPts (default

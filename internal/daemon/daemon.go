@@ -21,8 +21,15 @@
 //	GET    /v1/datasets/{name}/emst       [?algo=&edges=false]
 //	GET    /v1/datasets/{name}/knn        ?q=&k=
 //	GET    /v1/datasets/{name}/range      ?q=&r=  [&ids=false]
+//	POST   /v1/datasets/{name}/sweep      {"minpts":[...],"eps":[...]} full parameter grid
 //	GET    /v1/broadcast/hdbscan          ?minpts=&eps=   fan-out across all datasets
 //	GET    /v1/stats                      engine counters per dataset + registry occupancy
+//
+// The label-, edge-, and reachability-producing endpoints (hdbscan,
+// dbscan, optics, emst, sweep) additionally stream their response as
+// chunked NDJSON when the request carries "Accept: application/x-ndjson";
+// the buffered JSON document stays the default. See stream.go for the
+// record protocol.
 package daemon
 
 import (
@@ -50,6 +57,9 @@ type Config struct {
 	Shards int
 	// MaxUploadBytes caps one upload request body (<= 0: 1 GiB).
 	MaxUploadBytes int64
+	// MaxSweepCells caps the minpts x eps grid size one sweep request may
+	// ask for (<= 0: 10000).
+	MaxSweepCells int
 }
 
 // Server hosts the dataset registry behind the HTTP handler tree.
@@ -70,6 +80,9 @@ type dataset struct {
 func New(cfg Config) *Server {
 	if cfg.MaxUploadBytes <= 0 {
 		cfg.MaxUploadBytes = 1 << 30
+	}
+	if cfg.MaxSweepCells <= 0 {
+		cfg.MaxSweepCells = 10000
 	}
 	return &Server{cfg: cfg, reg: registry.New[*dataset](cfg.MaxBytes, cfg.Shards)}
 }
@@ -95,6 +108,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets/{name}/emst", s.handleEMST)
 	mux.HandleFunc("GET /v1/datasets/{name}/knn", s.handleKNN)
 	mux.HandleFunc("GET /v1/datasets/{name}/range", s.handleRange)
+	mux.HandleFunc("POST /v1/datasets/{name}/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/broadcast/hdbscan", s.handleBroadcast)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
@@ -129,6 +143,8 @@ type countersJSON struct {
 	DendrogramBuilds    int64 `json:"dendrogram_builds"`
 	DendrogramHits      int64 `json:"dendrogram_hits"`
 	DendrogramCoalesced int64 `json:"dendrogram_coalesced"`
+	CutBuilds           int64 `json:"cut_builds"`
+	CutHits             int64 `json:"cut_hits"`
 	CoalescedTotal      int64 `json:"coalesced_total"`
 }
 
@@ -146,6 +162,8 @@ func toCountersJSON(c engine.Counters) countersJSON {
 		DendrogramBuilds:    c.DendrogramBuilds,
 		DendrogramHits:      c.DendrogramHits,
 		DendrogramCoalesced: c.DendrogramCoalesced,
+		CutBuilds:           c.CutBuilds,
+		CutHits:             c.CutHits,
 		CoalescedTotal:      c.Coalesced(),
 	}
 }
@@ -281,6 +299,16 @@ func parseEMSTAlgo(raw string) (parclust.EMSTAlgorithm, error) {
 		return parclust.EMSTWSPDBoruvka, nil
 	}
 	return 0, fmt.Errorf("unknown emst algo %q (want memogfk|gfk|naive|boruvka|delaunay2d|wspdboruvka)", raw)
+}
+
+// ctxDone reports whether the request was already cancelled (client gone,
+// server shutting down). Handlers check it after parameter validation and
+// before the expensive query so a disconnected client neither triggers a
+// pipeline build nobody will read nor pays for serialization into a dead
+// connection. There is nothing useful to write — the peer is gone — so
+// callers just return.
+func ctxDone(r *http.Request) bool {
+	return r.Context().Err() != nil
 }
 
 // acquire pins the named dataset for the duration of one query, writing
@@ -506,6 +534,13 @@ func (s *Server) handleHDBSCAN(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "need eps= (flat cut) or minclustersize= (stability extraction)")
 		return
 	}
+	withLabels, ok := qBool(w, r, "labels", true)
+	if !ok {
+		return
+	}
+	if ctxDone(r) {
+		return
+	}
 	hier, err := d.idx.HDBSCANWithAlgorithm(minPts, algo)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -523,8 +558,15 @@ func (s *Server) handleHDBSCAN(w http.ResponseWriter, r *http.Request) {
 		res.NumNoise = countNoise(c.Labels)
 	}
 	res.NumClusters = c.NumClusters
-	withLabels, ok := qBool(w, r, "labels", true)
-	if !ok {
+	if wantsNDJSON(r) {
+		sw := newStreamWriter(w, r)
+		if !sw.write(res) {
+			return
+		}
+		if withLabels && !sw.streamLabels(c.Labels) {
+			return
+		}
+		sw.finish()
 		return
 	}
 	if withLabels {
@@ -552,6 +594,13 @@ func (s *Server) handleDBSCAN(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	withLabels, ok := qBool(w, r, "labels", true)
+	if !ok {
+		return
+	}
+	if ctxDone(r) {
+		return
+	}
 	var c parclust.Clustering
 	var err error
 	if star {
@@ -567,8 +616,15 @@ func (s *Server) handleDBSCAN(w http.ResponseWriter, r *http.Request) {
 		Dataset: d.name, MinPts: minPts, Eps: eps, Star: star,
 		NumClusters: c.NumClusters, NumNoise: countNoise(c.Labels),
 	}
-	withLabels, ok := qBool(w, r, "labels", true)
-	if !ok {
+	if wantsNDJSON(r) {
+		sw := newStreamWriter(w, r)
+		if !sw.write(res) {
+			return
+		}
+		if withLabels && !sw.streamLabels(c.Labels) {
+			return
+		}
+		sw.finish()
 		return
 	}
 	if withLabels {
@@ -582,6 +638,24 @@ func (s *Server) handleDBSCAN(w http.ResponseWriter, r *http.Request) {
 type opticsBar struct {
 	ID           int32    `json:"id"`
 	Reachability *float64 `json:"reachability"`
+}
+
+// toOpticsBar converts one OPTICS entry to its wire shape.
+func toOpticsBar(e parclust.OPTICSEntry) opticsBar {
+	b := opticsBar{ID: e.Idx}
+	if !math.IsInf(e.Reachability, 1) {
+		reach := e.Reachability
+		b.Reachability = &reach
+	}
+	return b
+}
+
+// opticsResult is the OPTICS response document; Order is the omitted array
+// field in a streamed header.
+type opticsResult struct {
+	Dataset string      `json:"dataset"`
+	MinPts  int         `json:"minpts"`
+	Order   []opticsBar `json:"order,omitempty"`
 }
 
 func (s *Server) handleOPTICS(w http.ResponseWriter, r *http.Request) {
@@ -601,28 +675,47 @@ func (s *Server) handleOPTICS(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if ctxDone(r) {
+		return
+	}
 	entries, err := d.idx.OPTICS(minPts, eps)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	order := make([]opticsBar, len(entries))
-	for i, e := range entries {
-		order[i] = opticsBar{ID: e.Idx}
-		if !math.IsInf(e.Reachability, 1) {
-			reach := e.Reachability
-			order[i].Reachability = &reach
+	res := opticsResult{Dataset: d.name, MinPts: minPts}
+	if wantsNDJSON(r) {
+		sw := newStreamWriter(w, r)
+		if !sw.write(res) {
+			return
 		}
+		if !sw.streamBars(entries) {
+			return
+		}
+		sw.finish()
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset": d.name, "minpts": minPts, "order": order,
-	})
+	res.Order = make([]opticsBar, len(entries))
+	for i, e := range entries {
+		res.Order[i] = toOpticsBar(e)
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 type edgeJSON struct {
 	U int32   `json:"u"`
 	V int32   `json:"v"`
 	W float64 `json:"w"`
+}
+
+// emstResult is the EMST response document; Edges is the omitted array
+// field in a streamed header.
+type emstResult struct {
+	Dataset     string     `json:"dataset"`
+	Algo        string     `json:"algo"`
+	NumEdges    int        `json:"num_edges"`
+	TotalWeight float64    `json:"total_weight"`
+	Edges       []edgeJSON `json:"edges,omitempty"`
 }
 
 func (s *Server) handleEMST(w http.ResponseWriter, r *http.Request) {
@@ -637,6 +730,13 @@ func (s *Server) handleEMST(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	withEdges, ok := qBool(w, r, "edges", true)
+	if !ok {
+		return
+	}
+	if ctxDone(r) {
+		return
+	}
 	edges, err := d.idx.EMSTWithAlgorithm(algo)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -646,22 +746,28 @@ func (s *Server) handleEMST(w http.ResponseWriter, r *http.Request) {
 	for _, e := range edges {
 		total += e.W
 	}
-	resp := map[string]any{
-		"dataset": d.name, "algo": algo.String(),
-		"num_edges": len(edges), "total_weight": total,
+	res := emstResult{
+		Dataset: d.name, Algo: algo.String(),
+		NumEdges: len(edges), TotalWeight: total,
 	}
-	withEdges, ok := qBool(w, r, "edges", true)
-	if !ok {
+	if wantsNDJSON(r) {
+		sw := newStreamWriter(w, r)
+		if !sw.write(res) {
+			return
+		}
+		if withEdges && !sw.streamEdges(edges) {
+			return
+		}
+		sw.finish()
 		return
 	}
 	if withEdges {
-		out := make([]edgeJSON, len(edges))
+		res.Edges = make([]edgeJSON, len(edges))
 		for i, e := range edges {
-			out[i] = edgeJSON{U: e.U, V: e.V, W: e.W}
+			res.Edges[i] = edgeJSON{U: e.U, V: e.V, W: e.W}
 		}
-		resp["edges"] = out
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, res)
 }
 
 type neighborJSON struct {
@@ -764,9 +870,19 @@ func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request) {
 	}
 	keys := s.reg.Keys()
 	results := make([]broadcastEntry, len(keys))
+	ctx := r.Context()
 	var wg sync.WaitGroup
 	queryOne := func(i int) {
 		results[i] = broadcastEntry{Dataset: keys[i]}
+		// A cancelled broadcast must not keep launching per-dataset
+		// builds: datasets whose goroutine starts after the client
+		// disconnects bail out here instead of running a query nobody
+		// will read. Queries already inside the engine run to completion
+		// (their result stays memoized for the next caller).
+		if ctx.Err() != nil {
+			results[i].Error = "request cancelled"
+			return
+		}
 		h, ok := s.reg.Acquire(keys[i])
 		if !ok {
 			results[i].Error = "evicted during broadcast"
@@ -792,6 +908,9 @@ func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request) {
 		}(i)
 	}
 	wg.Wait()
+	if ctx.Err() != nil {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"minpts": minPts, "eps": eps, "results": results,
 	})

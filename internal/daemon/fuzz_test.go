@@ -1,0 +1,85 @@
+package daemon
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzParseSweep fuzzes the sweep-request parser: whatever the body, an
+// accepted request must come out with both axes non-empty, deduplicated,
+// in-range, and under the cell cap, and must survive a marshal/re-parse
+// round trip unchanged.
+func FuzzParseSweep(f *testing.F) {
+	seeds := []string{
+		`{"minpts":[3,5,7],"eps":[0.25,0.5,1.0,2.0,4.0]}`,
+		`{"minpts":[1],"eps":[0]}`,
+		`{"minpts":[3,3,3],"eps":[1,1,1]}`,
+		`{"minpts":[2],"eps":[0.5],"algo":"gantao","labels":true}`,
+		`{"minpts":[],"eps":[1]}`,
+		`{"minpts":[3],"eps":[]}`,
+		`{"minpts":[0],"eps":[1]}`,
+		`{"minpts":[-1],"eps":[1]}`,
+		`{"minpts":[3],"eps":[-0.5]}`,
+		`{"minpts":[3],"eps":[1e999]}`,
+		`{"minpts":[3],"eps":[1],"algo":"kmeans"}`,
+		`{"minpts":[3],"eps":[1],"bogus":true}`,
+		`{"minpts":[3],"eps":[1]} trailing`,
+		`{"minpts":[1,2,3,4,5,6,7,8,9,10],"eps":[1,2,3,4,5,6,7,8,9,10]}`,
+		`not json at all`,
+		``,
+		`null`,
+		`{"minpts":[9007199254740993],"eps":[1]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), 64)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, maxCells int) {
+		if maxCells < 1 || maxCells > 1<<20 {
+			maxCells = 64
+		}
+		req, err := parseSweep(data, maxCells)
+		if err != nil {
+			return
+		}
+		if len(req.MinPts) == 0 || len(req.Eps) == 0 {
+			t.Fatalf("accepted request with empty axis: %+v", req)
+		}
+		if int64(len(req.MinPts))*int64(len(req.Eps)) > int64(maxCells) {
+			t.Fatalf("accepted %dx%d grid over the %d-cell cap", len(req.MinPts), len(req.Eps), maxCells)
+		}
+		seenM := map[int]bool{}
+		for _, mp := range req.MinPts {
+			if mp < 1 {
+				t.Fatalf("accepted minpts %d", mp)
+			}
+			if seenM[mp] {
+				t.Fatalf("duplicate minpts %d survived dedup: %v", mp, req.MinPts)
+			}
+			seenM[mp] = true
+		}
+		seenE := map[float64]bool{}
+		for _, e := range req.Eps {
+			if math.IsNaN(e) || math.IsInf(e, 0) || e < 0 {
+				t.Fatalf("accepted eps %v", e)
+			}
+			if seenE[e] {
+				t.Fatalf("duplicate eps %v survived dedup: %v", e, req.Eps)
+			}
+			seenE[e] = true
+		}
+		// A validated request is a fixed point: re-marshaling and
+		// re-parsing must accept it and preserve both axes.
+		round, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("marshal accepted request: %v", err)
+		}
+		req2, err := parseSweep(round, maxCells)
+		if err != nil {
+			t.Fatalf("re-parse of accepted request %s failed: %v", round, err)
+		}
+		if len(req2.MinPts) != len(req.MinPts) || len(req2.Eps) != len(req.Eps) {
+			t.Fatalf("round trip changed the grid: %+v -> %+v", req, req2)
+		}
+	})
+}

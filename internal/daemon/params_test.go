@@ -1,0 +1,65 @@
+package daemon
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestQueryParamValidation sweeps every malformed-parameter path: each one
+// must be a 400 written before any stage work runs.
+func TestQueryParamValidation(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	if code := ts.upload("p", testPoints(60), ""); code != http.StatusCreated {
+		t.Fatalf("upload: status %d", code)
+	}
+	bad := []string{
+		"/v1/datasets/p/hdbscan?minpts=abc&eps=1",
+		"/v1/datasets/p/hdbscan?minpts=3",
+		"/v1/datasets/p/hdbscan?minpts=3&eps=xyz",
+		"/v1/datasets/p/hdbscan?minpts=3&minclustersize=0",
+		"/v1/datasets/p/hdbscan?minpts=3&minclustersize=abc",
+		"/v1/datasets/p/hdbscan?minpts=3&eps=1&algo=bogus",
+		"/v1/datasets/p/hdbscan?minpts=3&eps=1&labels=maybe",
+		"/v1/datasets/p/dbscan?eps=1",
+		"/v1/datasets/p/dbscan?minpts=3",
+		"/v1/datasets/p/dbscan?minpts=3&eps=1&star=perhaps",
+		"/v1/datasets/p/dbscan?minpts=3&eps=1&labels=maybe",
+		"/v1/datasets/p/optics?minpts=3&eps=bad",
+		"/v1/datasets/p/emst?algo=bogus",
+		"/v1/datasets/p/emst?edges=maybe",
+		"/v1/datasets/p/knn?q=0",
+		"/v1/datasets/p/knn?k=3",
+		"/v1/datasets/p/knn?q=99999999999999999999&k=3",
+		"/v1/datasets/p/range?q=0",
+		"/v1/datasets/p/range?q=0&r=bad",
+		"/v1/datasets/p/range?q=0&r=1&ids=maybe",
+		"/v1/broadcast/hdbscan?minpts=3",
+		"/v1/broadcast/hdbscan?eps=1",
+	}
+	for _, p := range bad {
+		if code := ts.get(p, nil); code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", p, code)
+		}
+	}
+	if code := ts.get("/v1/datasets/p/optics?minpts=", nil); code != http.StatusBadRequest {
+		t.Errorf("empty minpts: want 400")
+	}
+
+	// Every EMST algorithm name is accepted and answers the same tree.
+	for _, algo := range []string{"memogfk", "gfk", "naive", "boruvka", "delaunay2d", "wspdboruvka"} {
+		var out struct {
+			NumEdges int `json:"num_edges"`
+		}
+		p := "/v1/datasets/p/emst?edges=false&algo=" + algo
+		if code := ts.get(p, &out); code != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", p, code)
+		} else if out.NumEdges != 59 {
+			t.Errorf("GET %s: %d edges, want 59", p, out.NumEdges)
+		}
+	}
+
+	// The registry accessor exposes the live store to embedding code.
+	if got := ts.srv.Registry().Len(); got != 1 {
+		t.Fatalf("Registry().Len() = %d, want 1", got)
+	}
+}

@@ -1,0 +1,163 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"parclust"
+)
+
+// Streaming response path: a request with "application/x-ndjson" in its
+// Accept header opts into a chunked NDJSON stream instead of the buffered
+// JSON document. The stream is one JSON object per line:
+//
+//	line 1    the header — the buffered response object minus its large
+//	          array field (labels / edges / order / cells)
+//	lines 2+  chunk records carrying slices of that array, in order
+//	last      a trailer {"done":true,"items":N} with the total item count
+//
+// Reassembly (concatenate the chunks, reattach to the header) yields a
+// document byte-identical to the buffered response, which the e2e tests
+// assert. The writer flushes after every record so results reach the
+// client while the server is still producing, and it checks the request
+// context between records so a disconnected client stops the producer at
+// the next chunk boundary instead of keeping a goroutine encoding into a
+// dead connection. Peak server memory per streamed request is one chunk,
+// not the whole document.
+
+// streamChunkSize is the number of array items carried per NDJSON chunk
+// record. 8192 labels is ~64 KiB of JSON text — large enough to amortize
+// the per-record encode/flush, small enough that per-request peak memory
+// stays far below a full n-point document. A var so tests can shrink it to
+// exercise chunk boundaries without multi-hundred-thousand-point datasets.
+var streamChunkSize = 8192
+
+// wantsNDJSON reports whether the request opted into a streamed NDJSON
+// response.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// streamTrailer is the final record of every complete NDJSON stream; a
+// client that never sees one knows the stream was truncated.
+type streamTrailer struct {
+	Done  bool `json:"done"`
+	Items int  `json:"items"`
+}
+
+// streamWriter emits NDJSON records with a flush after every record and a
+// context check before it. A write failure or client disconnect latches
+// err; all further writes are no-ops, so producer loops can just stop on
+// the first false return.
+type streamWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	ctx     context.Context
+	enc     *json.Encoder
+	err     error
+	items   int
+}
+
+// newStreamWriter commits the response to NDJSON (status 200 and the
+// content type go out immediately), so every error past this point must be
+// reported in-band or by truncation — callers validate everything first.
+func newStreamWriter(w http.ResponseWriter, r *http.Request) *streamWriter {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	f, _ := w.(http.Flusher)
+	return &streamWriter{w: w, flusher: f, ctx: r.Context(), enc: enc}
+}
+
+// write emits one record and flushes it; false means the stream is dead
+// (client gone, context cancelled, or write failure) and the producer must
+// stop.
+func (s *streamWriter) write(v any) bool {
+	if s.err != nil {
+		return false
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.err = err
+		return false
+	}
+	if err := s.enc.Encode(v); err != nil {
+		s.err = err
+		return false
+	}
+	if s.flusher != nil {
+		s.flusher.Flush()
+	}
+	return true
+}
+
+// finish emits the trailer record with the accumulated item count.
+func (s *streamWriter) finish() {
+	s.write(streamTrailer{Done: true, Items: s.items})
+}
+
+// labelChunk / edgeChunk / barChunk / cellChunk are the per-endpoint chunk
+// record shapes; the field name matches the array field of the buffered
+// response so reassembly is mechanical.
+type labelChunk struct {
+	Labels []int32 `json:"labels"`
+}
+
+type edgeChunk struct {
+	Edges []edgeJSON `json:"edges"`
+}
+
+type barChunk struct {
+	Order []opticsBar `json:"order"`
+}
+
+// streamLabels chunks one labels slice over the writer.
+func (s *streamWriter) streamLabels(labels []int32) bool {
+	for off := 0; off < len(labels); off += streamChunkSize {
+		end := min(off+streamChunkSize, len(labels))
+		if !s.write(labelChunk{Labels: labels[off:end]}) {
+			return false
+		}
+		s.items += end - off
+	}
+	return true
+}
+
+// streamEdges chunks an edge list over the writer, converting to the wire
+// shape one chunk at a time so only a chunk's worth of edgeJSON is ever
+// resident.
+func (s *streamWriter) streamEdges(edges []parclust.Edge) bool {
+	buf := make([]edgeJSON, 0, min(streamChunkSize, len(edges)))
+	for off := 0; off < len(edges); off += streamChunkSize {
+		end := min(off+streamChunkSize, len(edges))
+		buf = buf[:0]
+		for _, e := range edges[off:end] {
+			buf = append(buf, edgeJSON{U: e.U, V: e.V, W: e.W})
+		}
+		if !s.write(edgeChunk{Edges: buf}) {
+			return false
+		}
+		s.items += end - off
+	}
+	return true
+}
+
+// streamBars chunks an OPTICS ordering over the writer, converting entries
+// to wire bars one chunk at a time.
+func (s *streamWriter) streamBars(entries []parclust.OPTICSEntry) bool {
+	buf := make([]opticsBar, 0, min(streamChunkSize, len(entries)))
+	for off := 0; off < len(entries); off += streamChunkSize {
+		end := min(off+streamChunkSize, len(entries))
+		buf = buf[:0]
+		for _, e := range entries[off:end] {
+			buf = append(buf, toOpticsBar(e))
+		}
+		if !s.write(barChunk{Order: buf}) {
+			return false
+		}
+		s.items += end - off
+	}
+	return true
+}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"parclust/internal/hdbscan"
+	"parclust/internal/metric"
+)
+
+func TestCutResultCache(t *testing.T) {
+	const n = 400
+	e := New(randPoints(n, 2, 3), metric.L2{})
+	st := e.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 5, nil)
+
+	a := st.CutAt(1.5)
+	if c := e.Counters(); c.CutBuilds != 1 || c.CutHits != 0 {
+		t.Fatalf("after first cut: builds=%d hits=%d, want 1/0", c.CutBuilds, c.CutHits)
+	}
+	perCut := cutResultBytes(a)
+	if got := e.CutCacheBytes(); got != perCut {
+		t.Fatalf("CutCacheBytes = %d, want %d", got, perCut)
+	}
+
+	b := st.CutAt(1.5)
+	if c := e.Counters(); c.CutBuilds != 1 || c.CutHits != 1 {
+		t.Fatalf("after repeat cut: builds=%d hits=%d, want 1/1", c.CutBuilds, c.CutHits)
+	}
+	if len(a.Labels) != n || &a.Labels[0] != &b.Labels[0] {
+		t.Fatal("repeated cut did not return the cached labels slice")
+	}
+	// The cached result matches a fresh (uncached) cut.
+	want := st.Cutter().CutAt(1.5)
+	if b.NumClusters != want.NumClusters {
+		t.Fatalf("cached NumClusters = %d, want %d", b.NumClusters, want.NumClusters)
+	}
+	for i := range want.Labels {
+		if b.Labels[i] != want.Labels[i] {
+			t.Fatalf("cached label[%d] = %d, want %d", i, b.Labels[i], want.Labels[i])
+		}
+	}
+
+	// A different radius is a miss; a different stage has its own cache.
+	st.CutAt(2.5)
+	st2 := e.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 7, nil)
+	st2.CutAt(1.5)
+	if c := e.Counters(); c.CutBuilds != 3 || c.CutHits != 1 {
+		t.Fatalf("after new radius + new stage: builds=%d hits=%d, want 3/1", c.CutBuilds, c.CutHits)
+	}
+
+	// NaN cuts run but are never cached: a NaN map key could not be looked
+	// up again, so caching it would leak one dead entry per call.
+	before := e.CutCacheBytes()
+	st.CutAt(math.NaN())
+	st.CutAt(math.NaN())
+	if c := e.Counters(); c.CutBuilds != 5 || c.CutHits != 1 {
+		t.Fatalf("after NaN cuts: builds=%d hits=%d, want 5/1", c.CutBuilds, c.CutHits)
+	}
+	if got := e.CutCacheBytes(); got != before {
+		t.Fatalf("NaN cut changed CutCacheBytes: %d -> %d", before, got)
+	}
+}
+
+func TestCutResultCacheFIFOBound(t *testing.T) {
+	const n = 200
+	e := New(randPoints(n, 2, 9), metric.L2{})
+	st := e.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 4, nil)
+
+	// Overfill the cache; the per-cut charge is constant (every result
+	// holds n labels), so the byte ceiling is maxCutResults cuts.
+	perCut := cutResultBytes(st.CutAt(0.01))
+	for i := 1; i < maxCutResults+8; i++ {
+		st.CutAt(0.01 + float64(i)*0.05)
+	}
+	if got, want := e.CutCacheBytes(), int64(maxCutResults)*perCut; got != want {
+		t.Fatalf("CutCacheBytes after overfill = %d, want %d", got, want)
+	}
+
+	// The oldest radius was evicted (FIFO), so re-cutting it is a build;
+	// the newest is still resident, so re-cutting it is a hit.
+	c0 := e.Counters()
+	st.CutAt(0.01)
+	if c := e.Counters(); c.CutBuilds != c0.CutBuilds+1 || c.CutHits != c0.CutHits {
+		t.Fatalf("evicted radius: builds %d->%d hits %d->%d, want a rebuild",
+			c0.CutBuilds, c.CutBuilds, c0.CutHits, c.CutHits)
+	}
+	c0 = e.Counters()
+	st.CutAt(0.01 + float64(maxCutResults+7)*0.05)
+	if c := e.Counters(); c.CutHits != c0.CutHits+1 {
+		t.Fatalf("resident radius: hits %d->%d, want a hit", c0.CutHits, c.CutHits)
+	}
+}

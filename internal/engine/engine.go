@@ -28,6 +28,7 @@
 package engine
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -84,7 +85,25 @@ type HierStage struct {
 
 	cutOnce sync.Once
 	cutter  *dendrogram.Cutter
+
+	// Cut-result cache: flat cuts keyed on eps, bounded to maxCutResults
+	// entries per stage with FIFO eviction. The cache belongs to the stage,
+	// so stage identity doubles as the version key — anything that produced
+	// a new HierStage (a different minPts, algorithm, or pipeline) starts
+	// from an empty cache, and the downstream invalidation of the stage DAG
+	// carries over to cut results for free. eng is the owning engine (nil
+	// for stages constructed outside one, e.g. in tests), which carries the
+	// hit/build counters and the resident-bytes account.
+	cutMu    sync.Mutex
+	cutOrder []float64
+	cuts     map[float64]dendrogram.Clustering
+	eng      *Engine
 }
+
+// maxCutResults bounds the cut-result cache per hierarchy stage. A cached
+// cut retains ~4·n bytes of labels; 16 entries cover a generous eps ladder
+// while keeping the worst-case retained memory at 64·n bytes per stage.
+const maxCutResults = 16
 
 // Cutter returns the stage's precomputed cut structure, building it on
 // first use (safe for concurrent callers).
@@ -94,6 +113,65 @@ func (h *HierStage) Cutter() *dendrogram.Cutter {
 	})
 	return h.cutter
 }
+
+// CutAt returns the flat clustering at radius eps, serving repeated radii
+// from the stage's cut-result cache: a hit is an O(1) map lookup returning
+// the shared labels slice (callers must treat it as read-only), a miss runs
+// the near-O(n) cut off the precomputed merge order and caches the result.
+// NaN radii are computed but never cached (NaN map keys are unretrievable).
+func (h *HierStage) CutAt(eps float64) dendrogram.Clustering {
+	if !math.IsNaN(eps) {
+		h.cutMu.Lock()
+		if res, ok := h.cuts[eps]; ok {
+			h.cutMu.Unlock()
+			if h.eng != nil {
+				h.eng.c.cutHits.Add(1)
+			}
+			return res
+		}
+		h.cutMu.Unlock()
+	}
+	res := h.Cutter().CutAt(eps)
+	if h.eng != nil {
+		h.eng.c.cutBuilds.Add(1)
+	}
+	if math.IsNaN(eps) {
+		return res
+	}
+	h.cutMu.Lock()
+	if _, ok := h.cuts[eps]; !ok {
+		if h.cuts == nil {
+			h.cuts = make(map[float64]dendrogram.Clustering, maxCutResults)
+		}
+		if len(h.cutOrder) >= maxCutResults {
+			oldest := h.cutOrder[0]
+			h.cutOrder = h.cutOrder[1:]
+			if victim, ok := h.cuts[oldest]; ok {
+				delete(h.cuts, oldest)
+				if h.eng != nil {
+					h.eng.cutBytes.Add(-cutResultBytes(victim))
+				}
+			}
+		}
+		h.cuts[eps] = res
+		h.cutOrder = append(h.cutOrder, eps)
+		if h.eng != nil {
+			h.eng.cutBytes.Add(cutResultBytes(res))
+		}
+	}
+	h.cutMu.Unlock()
+	return res
+}
+
+// cutResultBytes is the resident size charged for one cached cut: the
+// labels slice plus map/slice bookkeeping.
+func cutResultBytes(c dendrogram.Clustering) int64 {
+	return int64(4*len(c.Labels)) + 64
+}
+
+// CutCacheBytes returns the resident bytes currently retained by the
+// engine's cut-result caches across all hierarchy stages.
+func (e *Engine) CutCacheBytes() int64 { return e.cutBytes.Load() }
 
 // wsPool shares MST round workspaces across engines and runs: a run checks
 // one out for its duration (runs are serialized per engine by buildMu, and
@@ -134,6 +212,9 @@ type Engine struct {
 	// annotated is the minPts the tree's CDMin/CDMax annotations currently
 	// reflect (0: none). Guarded by buildMu.
 	annotated int
+
+	// cutBytes is the resident size of all stages' cut-result caches.
+	cutBytes atomic.Int64
 
 	c counters
 }
@@ -481,7 +562,7 @@ func (e *Engine) hierarchyLocked(key mstKey, kind Kind, algo uint8, minPts int, 
 	} else {
 		edges, cd = e.hdbscanMSTLocked(key, minPts, hdbscan.Algorithm(algo), stats)
 	}
-	st = &HierStage{N: e.Pts.N, MST: edges, CoreDist: cd, MinPts: minPts}
+	st = &HierStage{N: e.Pts.N, MST: edges, CoreDist: cd, MinPts: minPts, eng: e}
 	if st.N > 0 {
 		stats.Time("dendrogram", func() {
 			st.Dendro = dendrogram.BuildParallel(st.N, edges, 0)

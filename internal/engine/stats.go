@@ -17,6 +17,8 @@ type counters struct {
 	hierBuilds    atomic.Int64
 	hierHits      atomic.Int64
 	hierCoalesced atomic.Int64
+	cutBuilds     atomic.Int64
+	cutHits       atomic.Int64
 }
 
 // Counters is a point-in-time snapshot of an Engine's stage cache counters.
@@ -40,6 +42,11 @@ type Counters struct {
 	// ordered-dendrogram (+ cut structure) constructions vs. reuses vs.
 	// parked requests.
 	DendrogramBuilds, DendrogramHits, DendrogramCoalesced int64
+	// CutBuilds / CutHits: flat-cut executions (one per distinct radius per
+	// hierarchy stage, up to the per-stage cache bound) vs. cuts answered in
+	// O(1) from a stage's cut-result cache. Cuts have no Coalesced counter:
+	// a cut is cheap enough that concurrent cold requests just run it.
+	CutBuilds, CutHits int64
 }
 
 // Coalesced returns the total number of requests, across all stages, that
@@ -64,5 +71,7 @@ func (e *Engine) Counters() Counters {
 		DendrogramBuilds:    e.c.hierBuilds.Load(),
 		DendrogramHits:      e.c.hierHits.Load(),
 		DendrogramCoalesced: e.c.hierCoalesced.Load(),
+		CutBuilds:           e.c.cutBuilds.Load(),
+		CutHits:             e.c.cutHits.Load(),
 	}
 }

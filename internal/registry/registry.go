@@ -67,6 +67,11 @@ type entry[V any] struct {
 	key   string
 	val   V
 	bytes int64
+	// extra is an adjustable charge on top of the admitted bytes, updated
+	// by Recharge when a value's estimated size changes after admission
+	// (e.g. a dataset's cut-result caches filling under sweep traffic). It
+	// is credited back together with bytes when the entry drains.
+	extra atomic.Int64
 
 	// mu guards the pin state below.
 	mu       sync.Mutex
@@ -95,8 +100,9 @@ func (h *Handle[V]) Value() V { return h.e.val }
 // Key returns the name the value was stored under.
 func (h *Handle[V]) Key() string { return h.e.key }
 
-// Bytes returns the size the value was admitted with.
-func (h *Handle[V]) Bytes() int64 { return h.e.bytes }
+// Bytes returns the size currently charged for the value: the admitted
+// size plus any post-admission Recharge adjustment.
+func (h *Handle[V]) Bytes() int64 { return h.e.bytes + h.e.extra.Load() }
 
 // Release unpins the value. If the entry was evicted while this handle was
 // outstanding and this was the last reference, the entry's bytes are
@@ -181,7 +187,7 @@ func (r *Registry[V]) Put(key string, val V, bytes int64) error {
 		if old.dead || old.refs > 0 {
 			return 0
 		}
-		return old.bytes
+		return old.bytes + old.extra.Load()
 	}
 	for r.maxBytes > 0 && r.bytes+bytes-reclaimable() > r.maxBytes {
 		// Find the least-recently-used entry that no query pins. Pinned
@@ -211,7 +217,7 @@ func (r *Registry[V]) Put(key string, val V, bytes int64) error {
 			return ErrOverBudget
 		}
 		r.unlink(victim)
-		r.bytes -= victim.bytes
+		r.bytes -= victim.bytes + victim.extra.Load()
 		r.evictions++
 		r.mu.Unlock()
 		// Remove the victim from its shard unless a concurrent Evict or
@@ -238,7 +244,7 @@ func (r *Registry[V]) Put(key string, val V, bytes int64) error {
 			old.dead = true
 			old.released = true
 			oldClaimed = true
-			r.bytes -= old.bytes
+			r.bytes -= old.bytes + old.extra.Load()
 			r.evictions++
 			if old.inLRU {
 				r.unlink(old)
@@ -379,15 +385,48 @@ func (r *Registry[V]) retire(e *entry[V]) {
 	}
 }
 
-// creditBytes returns a retired entry's bytes to the budget and fires
-// OnRelease. Called exactly once per entry (guarded by entry.released).
+// creditBytes returns a retired entry's bytes (admitted plus any Recharge
+// adjustment) to the budget and fires OnRelease. Called exactly once per
+// entry (guarded by entry.released).
 func (r *Registry[V]) creditBytes(e *entry[V]) {
 	r.mu.Lock()
-	r.bytes -= e.bytes
+	r.bytes -= e.bytes + e.extra.Load()
 	r.mu.Unlock()
 	if r.OnRelease != nil {
 		r.OnRelease(e.key, e.val)
 	}
+}
+
+// Recharge updates the bytes charged for the live entry under key to
+// newTotal, reporting whether the key was resident. It exists for values
+// whose estimated size legitimately changes after admission — the daemon
+// re-charges a dataset after a sweep has populated its cut-result caches —
+// and adjusts accounting only: it never evicts, so the budget may
+// transiently overshoot until the next Put applies pressure. A negative
+// newTotal is clamped to the admitted size.
+func (r *Registry[V]) Recharge(key string, newTotal int64) bool {
+	s := r.shardFor(key)
+	s.mu.RLock()
+	e := s.m[key]
+	s.mu.RUnlock()
+	if e == nil {
+		return false
+	}
+	e.mu.Lock()
+	if e.dead {
+		e.mu.Unlock()
+		return false
+	}
+	if newTotal < e.bytes {
+		newTotal = e.bytes
+	}
+	delta := newTotal - (e.bytes + e.extra.Load())
+	e.extra.Add(delta)
+	e.mu.Unlock()
+	r.mu.Lock()
+	r.bytes += delta
+	r.mu.Unlock()
+	return true
 }
 
 // unlink removes e from the LRU list (Registry.mu held).
