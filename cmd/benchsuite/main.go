@@ -41,7 +41,7 @@ import (
 )
 
 var (
-	expFlag      = flag.String("exp", "all", "experiment to run (table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10 memory pairs metrics serve daemon all)")
+	expFlag      = flag.String("exp", "all", "experiment to run (table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10 memory pairs metrics serve daemon restart all)")
 	nFlag        = flag.Int("n", 10000, "points per dataset")
 	minPtsFlag   = flag.Int("minpts", 10, "HDBSCAN* minPts")
 	seedFlag     = flag.Int64("seed", 42, "generator seed")
@@ -96,7 +96,7 @@ func main() {
 		*nFlag, *minPtsFlag, *seedFlag, runtime.NumCPU())
 	exps := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
-		exps = []string{"table3", "table4", "table5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "memory", "pairs", "metrics", "serve", "daemon"}
+		exps = []string{"table3", "table4", "table5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "memory", "pairs", "metrics", "serve", "daemon", "restart"}
 	}
 	summary := jsonSummary{
 		N:         *nFlag,
@@ -138,6 +138,8 @@ func main() {
 			serveStudy()
 		case "daemon":
 			daemonStudy()
+		case "restart":
+			restartStudy()
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", e)
 			os.Exit(2)
@@ -810,7 +812,10 @@ func daemonStudy() {
 	old := runtime.GOMAXPROCS(runtime.NumCPU())
 	defer runtime.GOMAXPROCS(old)
 
-	srv := daemon.New(daemon.Config{})
+	srv, err := daemon.New(daemon.Config{})
+	if err != nil {
+		panic(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -1032,6 +1037,77 @@ func daemonStudy() {
 		c.TreeBuilds, c.MSTBuilds, c.DendrogramHits, c.CutBuilds, c.CutHits, c.CoalescedTotal)
 	if hwm := vmHWM(); hwm > 0 {
 		fmt.Printf("process VmHWM (lifetime RSS high-water): %.1f MiB\n", float64(hwm)/(1<<20))
+	}
+}
+
+// restartStudy measures what the persistent stage store buys across a
+// daemon restart: building the full pipeline from raw points (cold) vs
+// writing the warm snapshot once vs reloading it and answering the first
+// query. The reload path must produce identical labels with zero stage
+// rebuilds — the speedup column is exactly the warm-restart win.
+func restartStudy() {
+	fmt.Println("\n## Restart: snapshot load vs cold stage rebuild (tree + core + MST + dendrogram)")
+	fmt.Println("n | cold_build_ms | snap_write_ms | snap_MiB | snap_load_ms | load_speedup")
+	for _, n := range []int{10_000, 100_000} {
+		pts := generator.SSVarden(n, 2, *seedFlag)
+		minPts := *minPtsFlag
+
+		coldStart := time.Now()
+		ix, err := parclust.NewIndex(pts, nil)
+		if err != nil {
+			panic(err)
+		}
+		hier, err := ix.HDBSCAN(minPts)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := ix.EMST(); err != nil {
+			panic(err)
+		}
+		want := hier.ExtractStableClusters(minPts)
+		cold := time.Since(coldStart)
+
+		var snap bytes.Buffer
+		writeStart := time.Now()
+		if err := ix.WriteSnapshot(&snap); err != nil {
+			panic(err)
+		}
+		write := time.Since(writeStart)
+
+		loadStart := time.Now()
+		back, err := parclust.ReadSnapshot(bytes.NewReader(snap.Bytes()))
+		if err != nil {
+			panic(err)
+		}
+		hier2, err := back.HDBSCAN(minPts)
+		if err != nil {
+			panic(err)
+		}
+		got := hier2.ExtractStableClusters(minPts)
+		load := time.Since(loadStart)
+
+		// The reload is only a win if it is also correct: identical labels,
+		// nothing rebuilt.
+		if got.NumClusters != want.NumClusters {
+			panic(fmt.Sprintf("restart n=%d: %d clusters after reload, want %d", n, got.NumClusters, want.NumClusters))
+		}
+		for i := range want.Labels {
+			if got.Labels[i] != want.Labels[i] {
+				panic(fmt.Sprintf("restart n=%d: label %d differs after reload", n, i))
+			}
+		}
+		if s := back.Stats(); s.TreeBuilds+s.CoreDistBuilds+s.MSTBuilds+s.DendrogramBuilds != 0 {
+			panic(fmt.Sprintf("restart n=%d: reload rebuilt stages: %+v", n, s))
+		}
+
+		fmt.Printf("%d | %.1f | %.1f | %.1f | %.1f | %.1fx\n",
+			n, cold.Seconds()*1e3, write.Seconds()*1e3,
+			float64(snap.Len())/(1<<20), load.Seconds()*1e3,
+			cold.Seconds()/load.Seconds())
+		benchfmtLines = append(benchfmtLines,
+			fmt.Sprintf("BenchmarkRestart/phase=cold-build/n=%d 1 %d ns/op", n, cold.Nanoseconds()),
+			fmt.Sprintf("BenchmarkRestart/phase=snapshot-write/n=%d 1 %d ns/op %d snapshot-bytes", n, write.Nanoseconds(), snap.Len()),
+			fmt.Sprintf("BenchmarkRestart/phase=snapshot-load/n=%d 1 %d ns/op", n, load.Nanoseconds()))
 	}
 }
 

@@ -15,8 +15,14 @@
 //	curl 'localhost:8650/v1/datasets/demo/hdbscan?minpts=2&eps=1.5'
 //	curl 'localhost:8650/v1/stats'
 //
+// With -data-dir the daemon keeps a persistent stage store: uploads and
+// memory-budget evictions write versioned, checksummed snapshots there
+// (see internal/store), and a restarted daemon lazily reloads them on
+// first query, serving byte-identical responses with zero stage rebuilds.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, then
-// in-flight queries get -drain to finish.
+// in-flight queries get -drain to finish, then every resident dataset is
+// persisted (with -data-dir) so the next start serves them warm.
 package main
 
 import (
@@ -40,16 +46,23 @@ var (
 	maxUploadFlag  = flag.Int64("max-upload-bytes", 1<<30, "largest accepted upload request body in bytes")
 	sweepCellsFlag = flag.Int("sweep-max-cells", 10000, "largest minpts x eps grid one POST /v1/datasets/{name}/sweep request may ask for")
 	drainFlag      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight queries")
+	dataDirFlag    = flag.String("data-dir", "", "snapshot directory for the persistent stage store (empty = in-memory only): uploads and shutdown persist datasets there, restarts reload them lazily with zero stage rebuilds")
+	spillFlag      = flag.Bool("spill", true, "with -data-dir, write a warm snapshot when the memory budget evicts a dataset, so its computed stages survive the eviction")
 )
 
 func main() {
 	flag.Parse()
-	srv := daemon.New(daemon.Config{
+	srv, err := daemon.New(daemon.Config{
 		MaxBytes:       *maxBytesFlag,
 		Shards:         *shardsFlag,
 		MaxUploadBytes: *maxUploadFlag,
 		MaxSweepCells:  *sweepCellsFlag,
+		DataDir:        *dataDirFlag,
+		Spill:          *spillFlag && *dataDirFlag != "",
 	})
+	if err != nil {
+		log.Fatalf("start: %v", err)
+	}
 	hs := &http.Server{
 		Addr:              *addrFlag,
 		Handler:           srv.Handler(),
@@ -60,7 +73,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("parclustd listening on %s (max-bytes=%d, shards=%d)", *addrFlag, *maxBytesFlag, *shardsFlag)
+	if *dataDirFlag != "" {
+		log.Printf("parclustd listening on %s (max-bytes=%d, shards=%d, data-dir=%s, spill=%v)",
+			*addrFlag, *maxBytesFlag, *shardsFlag, *dataDirFlag, *spillFlag)
+	} else {
+		log.Printf("parclustd listening on %s (max-bytes=%d, shards=%d)", *addrFlag, *maxBytesFlag, *shardsFlag)
+	}
 
 	select {
 	case err := <-errc:
@@ -76,6 +94,15 @@ func main() {
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		log.Printf("drain incomplete, closing: %v", err)
 		hs.Close()
+	}
+	if *dataDirFlag != "" {
+		// Persist after the drain so the snapshots include every stage the
+		// final queries memoized; the next start serves them warm.
+		n, err := srv.PersistAll()
+		if err != nil {
+			log.Printf("persist on shutdown: %v", err)
+		}
+		log.Printf("persisted %d dataset snapshot(s) to %s", n, *dataDirFlag)
 	}
 	log.Printf("parclustd stopped")
 }

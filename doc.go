@@ -114,6 +114,28 @@
 // dataset's registry accounting after every sweep request, so cut-cache
 // growth stays visible to the admission budget between uploads.
 //
+// # Snapshots: persistence for warm Indexes
+//
+// WriteSnapshot serializes an Index — its prepared points and every
+// memoized stage output (k-d tree arena, core distances per minPts, MSTs,
+// dendrograms) — into a versioned, checksummed container; ReadSnapshot
+// restores an Index that answers every serialized stage byte-identically
+// with zero rebuilds (its Stats build counters stay 0 until a query needs
+// something the snapshot did not carry). The container carries a CRC-32C
+// per chunk and a content hash over the points: a damaged stage chunk is
+// dropped and rebuilt on demand (ReadSnapshotDetails lists the drops),
+// while a damaged header or points section fails the whole decode rather
+// than serving wrong results. The normative byte-level format
+// specification lives in the internal/store package documentation.
+//
+// The parclustd daemon builds its persistent stage store on snapshots
+// (flag -data-dir): uploads persist, memory-budget evictions spill the
+// warm stage set (stale-aware — an unchanged dataset is written once),
+// queries against non-resident datasets lazily reload, and a graceful
+// shutdown persists everything resident, so a restarted daemon serves
+// identical responses without rebuilding any stage. See the README's
+// "Persistence" section for the serving-level lifecycle.
+//
 // # Quick start
 //
 //	pts := parclust.GenerateUniform(100000, 2, 42)

@@ -30,6 +30,12 @@
 // chunked NDJSON when the request carries "Accept: application/x-ndjson";
 // the buffered JSON document stays the default. See stream.go for the
 // record protocol.
+//
+// With Config.DataDir set, the server keeps a persistent stage store
+// (internal/store): uploads persist a snapshot, memory-pressure evictions
+// spill the warm stage set to disk, and queries against non-resident
+// datasets lazily reload their snapshot with zero stage rebuilds. See
+// persist.go for the load/spill machinery.
 package daemon
 
 import (
@@ -41,11 +47,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"parclust"
 	"parclust/internal/dataio"
 	"parclust/internal/engine"
 	"parclust/internal/registry"
+	"parclust/internal/store"
 )
 
 // Config sizes a Server.
@@ -60,12 +68,30 @@ type Config struct {
 	// MaxSweepCells caps the minpts x eps grid size one sweep request may
 	// ask for (<= 0: 10000).
 	MaxSweepCells int
+	// DataDir, when non-empty, enables the persistent stage store: uploads
+	// and pressure evictions write snapshots there, and queries against a
+	// non-resident dataset lazily reload its snapshot instead of 404ing.
+	DataDir string
+	// Spill writes a full warm snapshot when the registry evicts a dataset
+	// under byte pressure, so its memoized stages survive the eviction.
+	// Requires DataDir.
+	Spill bool
 }
 
 // Server hosts the dataset registry behind the HTTP handler tree.
 type Server struct {
 	cfg Config
 	reg *registry.Registry[*dataset]
+
+	// st is the snapshot store, nil when Config.DataDir is empty. The
+	// remaining fields are only used when st != nil.
+	st      *store.Dir
+	loadMu  sync.Mutex
+	loading map[string]*loadFlight // per-name singleflight for cold loads
+
+	spills    atomic.Int64 // pressure evictions persisted to disk
+	loads     atomic.Int64 // snapshots reloaded into the registry
+	loadFails atomic.Int64 // snapshots that existed but failed to decode
 }
 
 // dataset is one registry entry: a named, immutable Index.
@@ -76,15 +102,33 @@ type dataset struct {
 	bytes  int64
 }
 
-// New returns a Server with an empty registry.
-func New(cfg Config) *Server {
+// New returns a Server with an empty registry. When cfg.DataDir is set the
+// snapshot directory is created and snapshots already on disk become
+// lazily loadable; New fails only on an unusable data dir or Spill without
+// a DataDir.
+func New(cfg Config) (*Server, error) {
 	if cfg.MaxUploadBytes <= 0 {
 		cfg.MaxUploadBytes = 1 << 30
 	}
 	if cfg.MaxSweepCells <= 0 {
 		cfg.MaxSweepCells = 10000
 	}
-	return &Server{cfg: cfg, reg: registry.New[*dataset](cfg.MaxBytes, cfg.Shards)}
+	if cfg.Spill && cfg.DataDir == "" {
+		return nil, errors.New("daemon: Spill requires DataDir")
+	}
+	s := &Server{cfg: cfg, reg: registry.New[*dataset](cfg.MaxBytes, cfg.Shards)}
+	if cfg.DataDir != "" {
+		st, err := store.OpenDir(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		s.st = st
+		s.loading = make(map[string]*loadFlight)
+		if cfg.Spill {
+			s.reg.OnRelease = s.onRelease
+		}
+	}
+	return s, nil
 }
 
 // Registry exposes the underlying dataset registry (occupancy stats,
@@ -193,19 +237,13 @@ func infoOf(d *dataset) datasetInfo {
 
 // ---------------------------------------------------------------- params
 
+// validName delegates to the store's file-stem rule so a dataset name is
+// valid iff it is safe to become a snapshot file name: 1-128 characters
+// from [A-Za-z0-9._-], not starting with a dot. The leading-dot rule is
+// load-bearing even without a data dir — it rejects ".", "..", and hidden
+// names outright instead of trusting later path joins to neutralize them.
 func validName(name string) bool {
-	if name == "" || len(name) > 128 {
-		return false
-	}
-	for i := 0; i < len(name); i++ {
-		c := name[i]
-		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
-			c == '.' || c == '_' || c == '-'
-		if !ok {
-			return false
-		}
-	}
-	return true
+	return store.SafeName(name)
 }
 
 // qInt parses a required integer query parameter; ok=false means the error
@@ -312,15 +350,25 @@ func ctxDone(r *http.Request) bool {
 }
 
 // acquire pins the named dataset for the duration of one query, writing
-// the 404 when it is absent. Callers must Release the handle.
-func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (*registry.Handle[*dataset], bool) {
+// the 404 when it is absent. When the dataset is not resident but the
+// snapshot store holds it, acquire lazily reloads it (cold loads for the
+// same name coalesce into one decode). Callers must call release exactly
+// once; ok=false means the error response has been written.
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (d *dataset, release func(), ok bool) {
 	name := r.PathValue("name")
-	h, ok := s.reg.Acquire(name)
-	if !ok {
-		writeError(w, http.StatusNotFound, "dataset %q not found", name)
-		return nil, false
+	if h, hit := s.reg.Acquire(name); hit {
+		return h.Value(), h.Release, true
 	}
-	return h, true
+	if s.st == nil || !validName(name) || !s.st.Has(name) {
+		writeError(w, http.StatusNotFound, "dataset %q not found", name)
+		return nil, nil, false
+	}
+	d, release, err := s.coldLoad(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "dataset %q not found (snapshot unusable: %v)", name, err)
+		return nil, nil, false
+	}
+	return d, release, true
 }
 
 // ---------------------------------------------------------------- upload
@@ -395,7 +443,16 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "admit dataset: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, infoOf(d))
+	resp := map[string]any{"dataset": infoOf(d)}
+	if s.st != nil {
+		// Persist the (cold) snapshot now so the dataset survives a crash
+		// before its first eviction; a replaced upload overwrites the old
+		// file atomically. A failed write never fails the upload — the
+		// dataset is admitted and serving — but the response says so.
+		_, perr := s.st.Write(name, d.idx.WriteSnapshot)
+		resp["persisted"] = perr == nil
+	}
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 // uploadErrCode maps body-read failures to 413 when the MaxBytesReader
@@ -412,22 +469,50 @@ func uploadErrCode(err error) int {
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	var infos []datasetInfo
+	resident := map[string]bool{}
 	for _, key := range s.reg.Keys() {
 		if h, ok := s.reg.Peek(key); ok {
 			infos = append(infos, infoOf(h.Value()))
+			resident[key] = true
 			h.Release()
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"datasets": infos,
 		"registry": toRegistryJSON(s.reg.Stats()),
-	})
+	}
+	if s.st != nil {
+		// Snapshots without a resident entry are still queryable (the
+		// first query reloads them); list them so clients can see the full
+		// serving surface, not just what happens to be in RAM.
+		cold := []string{}
+		if names, err := s.st.List(); err == nil {
+			for _, name := range names {
+				if !resident[name] {
+					cold = append(cold, name)
+				}
+			}
+		}
+		resp["cold"] = cold
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	h, ok := s.reg.Peek(name)
 	if !ok {
+		// A cold dataset answers from its snapshot header without paying
+		// for a full reload (info is an admin probe, not a query).
+		if s.st != nil && validName(name) {
+			if hdr, err := s.st.ReadHeaderFile(name); err == nil {
+				writeJSON(w, http.StatusOK, map[string]any{
+					"dataset": datasetInfo{Name: name, N: hdr.N, Dim: hdr.Dim, Metric: hdr.Metric},
+					"cold":    true,
+				})
+				return
+			}
+		}
 		writeError(w, http.StatusNotFound, "dataset %q not found", name)
 		return
 	}
@@ -441,11 +526,18 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.reg.Evict(name) {
+	evicted := s.reg.Evict(name)
+	removed := false
+	// DELETE means "forget this dataset", which covers the snapshot too —
+	// including a cold one that is only on disk.
+	if s.st != nil && validName(name) && s.st.Has(name) {
+		removed = s.st.Remove(name) == nil
+	}
+	if !evicted && !removed {
 		writeError(w, http.StatusNotFound, "dataset %q not found", name)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"evicted": name})
+	writeJSON(w, http.StatusOK, map[string]any{"evicted": name, "snapshot_removed": removed})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -466,6 +558,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"registry": toRegistryJSON(s.reg.Stats()),
 		"datasets": perDataset,
+		"store":    s.storeStats(),
 	})
 }
 
@@ -494,12 +587,11 @@ func countNoise(labels []int32) int {
 }
 
 func (s *Server) handleHDBSCAN(w http.ResponseWriter, r *http.Request) {
-	h, ok := s.acquire(w, r)
+	d, release, ok := s.acquire(w, r)
 	if !ok {
 		return
 	}
-	defer h.Release()
-	d := h.Value()
+	defer release()
 	minPts, ok := qInt(w, r, "minpts")
 	if !ok {
 		return
@@ -576,12 +668,11 @@ func (s *Server) handleHDBSCAN(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDBSCAN(w http.ResponseWriter, r *http.Request) {
-	h, ok := s.acquire(w, r)
+	d, release, ok := s.acquire(w, r)
 	if !ok {
 		return
 	}
-	defer h.Release()
-	d := h.Value()
+	defer release()
 	minPts, ok := qInt(w, r, "minpts")
 	if !ok {
 		return
@@ -659,12 +750,11 @@ type opticsResult struct {
 }
 
 func (s *Server) handleOPTICS(w http.ResponseWriter, r *http.Request) {
-	h, ok := s.acquire(w, r)
+	d, release, ok := s.acquire(w, r)
 	if !ok {
 		return
 	}
-	defer h.Release()
-	d := h.Value()
+	defer release()
 	minPts, ok := qInt(w, r, "minpts")
 	if !ok {
 		return
@@ -719,12 +809,11 @@ type emstResult struct {
 }
 
 func (s *Server) handleEMST(w http.ResponseWriter, r *http.Request) {
-	h, ok := s.acquire(w, r)
+	d, release, ok := s.acquire(w, r)
 	if !ok {
 		return
 	}
-	defer h.Release()
-	d := h.Value()
+	defer release()
 	algo, err := parseEMSTAlgo(r.URL.Query().Get("algo"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -776,12 +865,11 @@ type neighborJSON struct {
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
-	h, ok := s.acquire(w, r)
+	d, release, ok := s.acquire(w, r)
 	if !ok {
 		return
 	}
-	defer h.Release()
-	d := h.Value()
+	defer release()
 	q, ok := qInt32(w, r, "q")
 	if !ok {
 		return
@@ -805,12 +893,11 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
-	h, ok := s.acquire(w, r)
+	d, release, ok := s.acquire(w, r)
 	if !ok {
 		return
 	}
-	defer h.Release()
-	d := h.Value()
+	defer release()
 	q, ok := qInt32(w, r, "q")
 	if !ok {
 		return

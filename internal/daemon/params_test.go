@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"net/http"
+	"strings"
 	"testing"
 )
 
@@ -61,5 +62,35 @@ func TestQueryParamValidation(t *testing.T) {
 	// The registry accessor exposes the live store to embedding code.
 	if got := ts.srv.Registry().Len(); got != 1 {
 		t.Fatalf("Registry().Len() = %d, want 1", got)
+	}
+}
+
+// TestUploadNameValidation pins the dataset-name rule against path
+// traversal: names that resolve to directory entries (".", "..",
+// dot-prefixed hidden files) must be rejected before any body parsing,
+// because a dataset name becomes a snapshot file stem verbatim.
+func TestUploadNameValidation(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	// "." and ".." are sent percent-encoded: ServeMux path-cleans the
+	// literal segments away before routing, but %2E-encoded dots survive
+	// cleaning and reach the handler as the decoded traversal name — the
+	// exact vector the leading-dot rule exists for.
+	bad := []string{
+		"%2E", "%2E%2E", "%2E%2E%2E",
+		"...", ".hidden", ".tmp-x-1", "..sneaky", ".pcsnap",
+		strings.Repeat("a", 129),
+	}
+	body := []byte(`{"points":[[0,0],[1,1],[2,2]]}`)
+	for _, p := range bad {
+		if code := ts.do(http.MethodPut, "/v1/datasets/"+p, body, "application/json", nil); code != http.StatusBadRequest {
+			t.Errorf("upload %q: status %d, want 400", p, code)
+		}
+	}
+	// Interior and trailing dots stay legal — only the leading dot is the
+	// directory-entry hazard.
+	for _, name := range []string{"v1.2.3", "trailing.", "a"} {
+		if code := ts.do(http.MethodPut, "/v1/datasets/"+name, body, "application/json", nil); code != http.StatusCreated {
+			t.Errorf("upload %q: status %d, want 201", name, code)
+		}
 	}
 }

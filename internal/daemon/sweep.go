@@ -112,12 +112,11 @@ func parseSweep(data []byte, maxCells int) (sweepRequest, error) {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	h, ok := s.acquire(w, r)
+	d, release, ok := s.acquire(w, r)
 	if !ok {
 		return
 	}
-	defer h.Release()
-	d := h.Value()
+	defer release()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSweepBodyBytes))
 	if err != nil {
 		writeError(w, uploadErrCode(err), "read sweep request: %v", err)

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"parclust/internal/dendrogram"
+	"parclust/internal/kdtree"
+	"parclust/internal/mst"
+)
+
+// Stage export/seed hooks for the persistent store (internal/store): an
+// engine's memoized stage outputs can be lifted out as a StageSet for
+// serialization and installed back into a fresh engine after a restart. A
+// seeded stage is indistinguishable from a built one to every query path —
+// except that the build counters stay at zero, which is exactly how the
+// warm-restart tests prove nothing was recomputed.
+
+// StageKey identifies one MST/hierarchy stage across the engine boundary.
+// It mirrors the unexported mstKey: for KindEMST, Algo is an EMSTAlgo and
+// MinPts is 0; for KindHDBSCAN, Algo is an hdbscan.Algorithm.
+type StageKey struct {
+	Kind   Kind
+	Algo   uint8
+	MinPts int
+}
+
+// StageSet is a point-in-time copy of an engine's memoized stage outputs.
+// The maps are private to the caller, but the values (tree, slices,
+// dendrograms) are shared with the engine and must be treated as read-only
+// — which is also their contract inside the engine.
+type StageSet struct {
+	Tree  *kdtree.Tree
+	Cores map[int][]float64
+	MSTs  map[StageKey][]mst.Edge
+	Hiers map[StageKey]*dendrogram.Dendrogram
+}
+
+// ExportStages snapshots the engine's published stage outputs. It takes
+// only the registry read lock, so it can run concurrently with queries and
+// with an in-flight build (whose result is simply not yet visible).
+func (e *Engine) ExportStages() StageSet {
+	e.regMu.RLock()
+	defer e.regMu.RUnlock()
+	s := StageSet{
+		Tree:  e.tree,
+		Cores: make(map[int][]float64, len(e.cores)),
+		MSTs:  make(map[StageKey][]mst.Edge, len(e.msts)),
+		Hiers: make(map[StageKey]*dendrogram.Dendrogram, len(e.hiers)),
+	}
+	for mp, cd := range e.cores {
+		s.Cores[mp] = cd
+	}
+	for k, edges := range e.msts {
+		s.MSTs[StageKey(k)] = edges
+	}
+	for k, st := range e.hiers {
+		if st.Dendro != nil {
+			s.Hiers[StageKey(k)] = st.Dendro
+		}
+	}
+	return s
+}
+
+// SeedStages installs previously exported stage outputs into the engine
+// without running any build and without touching the build counters. Stages
+// already present are kept (the engine's copy wins); a hierarchy stage is
+// seeded only if its MST — and, for HDBSCAN, its core distances — landed
+// too, since queries read those fields off the stage. Safe to call
+// concurrently with queries; the usual registry locking applies.
+func (e *Engine) SeedStages(s StageSet) {
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
+	if e.tree == nil && s.Tree != nil {
+		e.tree = s.Tree
+	}
+	for mp, cd := range s.Cores {
+		if _, ok := e.cores[mp]; !ok && cd != nil {
+			e.cores[mp] = cd
+		}
+	}
+	for k, edges := range s.MSTs {
+		if _, ok := e.msts[mstKey(k)]; !ok && edges != nil {
+			e.msts[mstKey(k)] = edges
+		}
+	}
+	for k, d := range s.Hiers {
+		if _, ok := e.hiers[mstKey(k)]; ok || d == nil {
+			continue
+		}
+		edges, ok := e.msts[mstKey(k)]
+		if !ok {
+			continue
+		}
+		st := &HierStage{N: e.Pts.N, MST: edges, MinPts: k.MinPts, Dendro: d, eng: e}
+		if k.Kind == KindHDBSCAN {
+			cd, ok := e.cores[k.MinPts]
+			if !ok {
+				continue
+			}
+			st.CoreDist = cd
+		} else {
+			// The EMST hierarchy is single-linkage: CoreDist stays nil and
+			// the public entry point always passes minPts=1.
+			st.MinPts = 1
+		}
+		e.hiers[mstKey(k)] = st
+	}
+}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"testing"
+
+	"parclust/internal/hdbscan"
+	"parclust/internal/metric"
+)
+
+// TestExportSeedStagesZeroRebuilds warms an engine, exports its stages into
+// a fresh engine over the same points, and checks that every query is
+// answered identically with all build counters still at zero — the
+// warm-restart contract.
+func TestExportSeedStagesZeroRebuilds(t *testing.T) {
+	pts := randPoints(500, 2, 11)
+	warm := New(pts, metric.L2{})
+	warm.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 5, nil)
+	warm.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 9, nil)
+	warm.Hierarchy(KindEMST, uint8(EMSTMemoGFK), 1, nil)
+
+	set := warm.ExportStages()
+	if set.Tree == nil || len(set.Cores) != 2 || len(set.MSTs) != 3 || len(set.Hiers) != 3 {
+		t.Fatalf("export: tree=%v cores=%d msts=%d hiers=%d, want tree/2/3/3",
+			set.Tree != nil, len(set.Cores), len(set.MSTs), len(set.Hiers))
+	}
+
+	cold := New(pts, metric.L2{})
+	cold.SeedStages(set)
+
+	for _, mp := range []int{5, 9} {
+		wSt := warm.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), mp, nil)
+		cSt := cold.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), mp, nil)
+		if len(wSt.MST) != len(cSt.MST) {
+			t.Fatalf("minPts=%d: MST length differs", mp)
+		}
+		for i := range wSt.MST {
+			if wSt.MST[i] != cSt.MST[i] {
+				t.Fatalf("minPts=%d: MST edge %d differs", mp, i)
+			}
+		}
+		for i := range wSt.CoreDist {
+			if wSt.CoreDist[i] != cSt.CoreDist[i] {
+				t.Fatalf("minPts=%d: core distance %d differs", mp, i)
+			}
+		}
+		w, c := wSt.CutAt(1.5), cSt.CutAt(1.5)
+		if w.NumClusters != c.NumClusters || len(w.Labels) != len(c.Labels) {
+			t.Fatalf("minPts=%d: cut shape differs", mp)
+		}
+		for i := range w.Labels {
+			if w.Labels[i] != c.Labels[i] {
+				t.Fatalf("minPts=%d: label %d differs", mp, i)
+			}
+		}
+	}
+	sl := cold.Hierarchy(KindEMST, uint8(EMSTMemoGFK), 1, nil)
+	if sl.CoreDist != nil || sl.MinPts != 1 {
+		t.Fatal("seeded single-linkage stage must have nil core distances and minPts=1")
+	}
+
+	c := cold.Counters()
+	if c.TreeBuilds != 0 || c.CoreDistBuilds != 0 || c.MSTBuilds != 0 || c.DendrogramBuilds != 0 {
+		t.Fatalf("seeded engine rebuilt stages: tree=%d core=%d mst=%d dendro=%d, want all 0",
+			c.TreeBuilds, c.CoreDistBuilds, c.MSTBuilds, c.DendrogramBuilds)
+	}
+	if c.DendrogramHits != 3 {
+		t.Fatalf("DendrogramHits = %d, want 3", c.DendrogramHits)
+	}
+}
+
+// TestSeedStagesPartial seeds only upstream stages and checks downstream
+// builds still run (and only them), and that present entries are never
+// overwritten.
+func TestSeedStagesPartial(t *testing.T) {
+	pts := randPoints(300, 2, 12)
+	warm := New(pts, metric.L2{})
+	warm.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 4, nil)
+	set := warm.ExportStages()
+
+	// Drop the MSTs: the dependent hierarchy must not be seeded either.
+	set.MSTs = nil
+	cold := New(pts, metric.L2{})
+	cold.SeedStages(set)
+	cold.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 4, nil)
+	c := cold.Counters()
+	if c.TreeBuilds != 0 || c.CoreDistBuilds != 0 {
+		t.Fatalf("seeded upstream stages rebuilt: tree=%d core=%d", c.TreeBuilds, c.CoreDistBuilds)
+	}
+	if c.MSTBuilds != 1 || c.DendrogramBuilds != 1 {
+		t.Fatalf("downstream builds: mst=%d dendro=%d, want 1/1", c.MSTBuilds, c.DendrogramBuilds)
+	}
+
+	// Seeding into an engine that already built the same stage keeps the
+	// engine's copy.
+	st := cold.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 4, nil)
+	cold.SeedStages(warm.ExportStages())
+	if got := cold.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 4, nil); got != st {
+		t.Fatal("SeedStages replaced an already-published stage")
+	}
+}

@@ -34,15 +34,43 @@ var (
 	ErrOverBudget = errors.New("registry: memory budget exhausted by in-use entries")
 )
 
+// ReleaseCause tells an OnRelease callback why the entry left the
+// registry, so a persistence layer can distinguish "spill this, the budget
+// pushed it out" from "the user deleted it".
+type ReleaseCause uint8
+
+const (
+	// CausePressure: evicted by Put's LRU scan to make room under the
+	// memory budget. The natural spill-to-disk trigger.
+	CausePressure ReleaseCause = iota
+	// CauseReplaced: a Put stored a new value under the same key.
+	CauseReplaced
+	// CauseEvicted: removed by an explicit Evict call.
+	CauseEvicted
+)
+
+func (c ReleaseCause) String() string {
+	switch c {
+	case CausePressure:
+		return "pressure"
+	case CauseReplaced:
+		return "replaced"
+	case CauseEvicted:
+		return "evicted"
+	}
+	return "unknown"
+}
+
 // Registry is a sharded name -> value store with an LRU memory budget.
 // maxBytes <= 0 disables the budget (nothing is ever auto-evicted).
 type Registry[V any] struct {
 	// OnRelease, when non-nil, is called exactly once per evicted entry —
 	// after the entry has been removed from the map AND its last
 	// outstanding Handle released — from whichever goroutine performed the
-	// final step. Set it before the registry is shared; it must not call
-	// back into the registry for the same key.
-	OnRelease func(key string, val V)
+	// final step, with the cause recorded when the entry was claimed. Set
+	// it before the registry is shared; it must not call back into the
+	// registry for the same key.
+	OnRelease func(key string, val V, cause ReleaseCause)
 
 	maxBytes int64
 	mask     uint32
@@ -78,6 +106,9 @@ type entry[V any] struct {
 	refs     int
 	dead     bool // no longer acquirable; removed (or being removed) from its shard
 	released bool // bytes returned to the budget and OnRelease fired
+	// cause records why the entry was retired; set together with dead
+	// (under mu) so a deferred release reports the original reason.
+	cause ReleaseCause
 
 	// LRU links, guarded by Registry.mu. inLRU distinguishes "off-list
 	// because evicted" from "head/tail of list".
@@ -206,6 +237,7 @@ func (r *Registry[V]) Put(key string, val V, bytes int64) error {
 				// credited below, so mark it released here.
 				cand.dead = true
 				cand.released = true
+				cand.cause = CausePressure
 				cand.mu.Unlock()
 				victim = cand
 				break
@@ -229,7 +261,7 @@ func (r *Registry[V]) Put(key string, val V, bytes int64) error {
 		}
 		vs.mu.Unlock()
 		if r.OnRelease != nil {
-			r.OnRelease(victim.key, victim.val)
+			r.OnRelease(victim.key, victim.val, CausePressure)
 		}
 		r.mu.Lock()
 	}
@@ -243,6 +275,7 @@ func (r *Registry[V]) Put(key string, val V, bytes int64) error {
 		if !old.dead && old.refs == 0 {
 			old.dead = true
 			old.released = true
+			old.cause = CauseReplaced
 			oldClaimed = true
 			r.bytes -= old.bytes + old.extra.Load()
 			r.evictions++
@@ -262,7 +295,7 @@ func (r *Registry[V]) Put(key string, val V, bytes int64) error {
 		}
 		s.mu.Unlock()
 		if r.OnRelease != nil {
-			r.OnRelease(old.key, old.val)
+			r.OnRelease(old.key, old.val, CauseReplaced)
 		}
 	}
 
@@ -276,7 +309,7 @@ func (r *Registry[V]) Put(key string, val V, bytes int64) error {
 	if prev != nil {
 		// The old entry was pinned (deferred release), or a concurrent Put
 		// for the same key slipped in; retire the loser.
-		r.retire(prev)
+		r.retire(prev, CauseReplaced)
 	}
 
 	r.mu.Lock()
@@ -353,14 +386,14 @@ func (r *Registry[V]) Evict(key string) bool {
 	if e == nil {
 		return false
 	}
-	r.retire(e)
+	r.retire(e, CauseEvicted)
 	return true
 }
 
 // retire finalizes an entry that has been removed from its shard map:
 // marks it dead, unlinks it from the LRU, counts the eviction, and credits
 // its bytes back now if unpinned (the last Release does it otherwise).
-func (r *Registry[V]) retire(e *entry[V]) {
+func (r *Registry[V]) retire(e *entry[V], cause ReleaseCause) {
 	e.mu.Lock()
 	if e.dead {
 		// Already retired by a racing path; bytes are handled exactly once
@@ -369,6 +402,7 @@ func (r *Registry[V]) retire(e *entry[V]) {
 		return
 	}
 	e.dead = true
+	e.cause = cause
 	free := e.refs == 0 && !e.released
 	if free {
 		e.released = true
@@ -393,7 +427,9 @@ func (r *Registry[V]) creditBytes(e *entry[V]) {
 	r.bytes -= e.bytes + e.extra.Load()
 	r.mu.Unlock()
 	if r.OnRelease != nil {
-		r.OnRelease(e.key, e.val)
+		// e.cause was written under e.mu together with dead; every path
+		// reaching here has since observed dead under e.mu.
+		r.OnRelease(e.key, e.val, e.cause)
 	}
 }
 
@@ -498,10 +534,33 @@ type Stats struct {
 	Evictions int64
 }
 
-// Stats returns a snapshot of the registry occupancy.
+// Stats returns a coherent snapshot of the registry occupancy: the entry
+// count, byte total, and eviction count are read in one critical section,
+// so a scrape during churn never reports a combination that never existed
+// (an entry is charged under r.mu before it becomes acquirable, and
+// uncharged no earlier than its retirement, so Bytes always covers every
+// counted entry). Taking shard read locks and entry mutexes inside r.mu
+// follows the documented lock order: no path waits on r.mu while holding
+// either.
 func (r *Registry[V]) Stats() Stats {
 	r.mu.Lock()
-	b, ev := r.bytes, r.evictions
-	r.mu.Unlock()
-	return Stats{Entries: r.Len(), Bytes: b, MaxBytes: r.maxBytes, Evictions: ev}
+	defer r.mu.Unlock()
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		ents := make([]*entry[V], 0, len(s.m))
+		for _, e := range s.m {
+			ents = append(ents, e)
+		}
+		s.mu.RUnlock()
+		for _, e := range ents {
+			e.mu.Lock()
+			if !e.dead {
+				n++
+			}
+			e.mu.Unlock()
+		}
+	}
+	return Stats{Entries: n, Bytes: r.bytes, MaxBytes: r.maxBytes, Evictions: r.evictions}
 }

@@ -96,7 +96,7 @@ func TestAdmissionErrors(t *testing.T) {
 func TestReplaceSameKey(t *testing.T) {
 	released := make(map[string]int)
 	r := New[int](0, 2)
-	r.OnRelease = func(key string, val int) { released[fmt.Sprintf("%s=%d", key, val)]++ }
+	r.OnRelease = func(key string, val int, _ ReleaseCause) { released[fmt.Sprintf("%s=%d", key, val)]++ }
 	if err := r.Put("k", 1, 10); err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestReplacementReclaimsItsOwnBytes(t *testing.T) {
 func TestEvictionDefersReleaseUntilQueriesDrain(t *testing.T) {
 	var releases atomic.Int64
 	r := New[string](0, 2)
-	r.OnRelease = func(string, string) { releases.Add(1) }
+	r.OnRelease = func(string, string, ReleaseCause) { releases.Add(1) }
 	if err := r.Put("x", "payload", 40); err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +243,7 @@ func TestEvictUnderLoadRace(t *testing.T) {
 	)
 	var releases atomic.Int64
 	r := New[*blob](budget, 4)
-	r.OnRelease = func(_ string, b *blob) {
+	r.OnRelease = func(_ string, b *blob, _ ReleaseCause) {
 		if b.released.Swap(true) {
 			t.Error("OnRelease fired twice for one entry")
 		}
@@ -348,4 +348,114 @@ func TestKeysAndLen(t *testing.T) {
 	if r.Len() != 3 {
 		t.Fatalf("Len() = %d", r.Len())
 	}
+}
+
+// TestReleaseCauses pins down which cause reaches OnRelease on every
+// removal path, including releases deferred behind outstanding handles.
+func TestReleaseCauses(t *testing.T) {
+	causes := make(map[string]ReleaseCause)
+	r := New[int](25, 2)
+	r.OnRelease = func(key string, _ int, cause ReleaseCause) { causes[key] = cause }
+
+	// LRU pressure: admitting "c" pushes out "a".
+	for _, k := range []string{"a", "b"} {
+		if err := r.Put(k, 0, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Put("c", 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if causes["a"] != CausePressure {
+		t.Fatalf("pressure eviction reported %v", causes["a"])
+	}
+	// Same-key replacement.
+	if err := r.Put("b", 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if causes["b"] != CauseReplaced {
+		t.Fatalf("replacement reported %v", causes["b"])
+	}
+	// Explicit evict, deferred behind a pinned handle: the cause recorded
+	// at eviction time must survive until the drain.
+	h, _ := r.Acquire("c")
+	r.Evict("c")
+	if _, ok := causes["c"]; ok {
+		t.Fatal("OnRelease fired while pinned")
+	}
+	h.Release()
+	if causes["c"] != CauseEvicted {
+		t.Fatalf("deferred explicit eviction reported %v", causes["c"])
+	}
+	// Pinned same-key replacement defers with CauseReplaced.
+	h, _ = r.Acquire("b")
+	if err := r.Put("b", 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	delete(causes, "b")
+	h.Release()
+	if causes["b"] != CauseReplaced {
+		t.Fatalf("deferred replacement reported %v", causes["b"])
+	}
+	if CausePressure.String() != "pressure" || CauseReplaced.String() != "replaced" ||
+		CauseEvicted.String() != "evicted" || ReleaseCause(9).String() != "unknown" {
+		t.Fatal("ReleaseCause.String mismatch")
+	}
+}
+
+// TestStatsCoherentUnderChurn scrapes Stats while writers churn equal-size
+// entries. Every entry charges exactly perEntry bytes no later than it
+// becomes countable, so a coherent snapshot always satisfies
+// Bytes >= Entries*perEntry; the pre-fix torn read (Entries outside the
+// critical section) violates it readily under this load.
+func TestStatsCoherentUnderChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; the dedicated CI race step runs it without -short")
+	}
+	const (
+		perEntry = 64
+		keys     = 16
+		iters    = 300
+		writers  = 4
+		scrapers = 2
+	)
+	r := New[int](0, 4)
+	var writersWG, scrapersWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < iters; i++ {
+				k := fmt.Sprintf("k-%d", (w*iters+i)%keys)
+				if err := r.Put(k, i, perEntry); err != nil {
+					t.Error(err)
+				}
+				if i%3 == 0 {
+					r.Evict(k)
+				}
+			}
+		}(w)
+	}
+	for sc := 0; sc < scrapers; sc++ {
+		scrapersWG.Add(1)
+		go func() {
+			defer scrapersWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := r.Stats()
+				if s.Bytes < int64(s.Entries)*perEntry {
+					t.Errorf("torn stats: %d entries but only %d bytes", s.Entries, s.Bytes)
+					return
+				}
+			}
+		}()
+	}
+	writersWG.Wait()
+	close(stop)
+	scrapersWG.Wait()
 }

@@ -1,0 +1,485 @@
+// Package store implements the persistent stage store: a versioned on-disk
+// snapshot container for a warm engine (tree, core distances, MSTs,
+// dendrograms) plus the directory manager the daemon uses for atomic
+// snapshot files.
+//
+// # Snapshot container format (version 1, normative)
+//
+// A snapshot is a fixed prefix, a JSON header, and a payload of
+// checksummed chunks. All integers are little-endian.
+//
+//	offset  size  field
+//	0       6     magic "PCSNAP"
+//	6       2     uint16 format version (currently 1)
+//	8       4     uint32 header length H
+//	12      4     uint32 CRC-32C (Castagnoli) of the H header bytes
+//	16      H     header, canonical JSON (see Header)
+//	16+H    ...   payload: concatenated chunks
+//
+// The header records the point count, dimensionality, metric name, a
+// content hash (64-bit FNV-1a of the points chunk bytes, lower-case hex),
+// and one entry per chunk with its stage identity, byte range (offset
+// relative to the payload start), and CRC-32C.
+//
+// Chunk payload encodings over n points in d dimensions:
+//
+//	points  [n*d]float64        prepared rows, original id order
+//	tree    kd-tree arena       see internal/kdtree snapshot layout
+//	core    [n]float64          core distances for minpts, original order
+//	mst     [n-1]{u,v int32; w float64}
+//	hier    [n-1]int32 left, [n-1]int32 right, [n-1]float64 height
+//
+// # Compatibility promise
+//
+// The version is bumped on any incompatible layout change; a reader
+// rejects snapshots whose version it does not know. A snapshot is a cache,
+// not a database: on any mismatch the engine rebuilds from points, so
+// deleting *.pcsnap files is always safe.
+//
+// # Corruption semantics
+//
+// The prefix, header, and points chunk are load-bearing: if any of them
+// fails validation, Decode returns an error and the caller falls back to a
+// cold rebuild (the daemon treats the dataset as absent). Every other
+// chunk degrades independently: a stage chunk with a bad checksum or a
+// failed structural validation is skipped — reported in Result.Skipped —
+// and that stage is rebuilt on first use. Decode never panics on
+// malformed input, and a checksum forgery cannot produce an out-of-bounds
+// traversal: every index the query paths follow is re-validated
+// structurally during decode.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"parclust/internal/engine"
+	"parclust/internal/geometry"
+	"parclust/internal/kdtree"
+	"parclust/internal/metric"
+	"parclust/internal/mst"
+
+	"parclust/internal/dendrogram"
+)
+
+const (
+	magic          = "PCSNAP"
+	formatVersion  = 1
+	prefixLen      = 6 + 2 + 4 + 4
+	maxHeaderBytes = 1 << 20
+
+	// Chunk stage names.
+	StagePoints = "points"
+	StageTree   = "tree"
+	StageCore   = "core"
+	StageMST    = "mst"
+	StageHier   = "hier"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Header is the snapshot's JSON header.
+type Header struct {
+	Version int    `json:"version"`
+	N       int    `json:"n"`
+	Dim     int    `json:"dim"`
+	Metric  string `json:"metric"`
+	// ContentHash is the 64-bit FNV-1a of the points chunk bytes in
+	// lower-case hex; two snapshots of the same prepared point set always
+	// share it.
+	ContentHash string  `json:"content_hash"`
+	Chunks      []Chunk `json:"chunks"`
+}
+
+// Chunk describes one payload chunk: its stage identity and checksummed
+// byte range (Off is relative to the payload start, i.e. the first byte
+// after the header).
+type Chunk struct {
+	Stage  string `json:"stage"`
+	Kind   uint8  `json:"kind,omitempty"`
+	Algo   uint8  `json:"algo,omitempty"`
+	MinPts int    `json:"minpts,omitempty"`
+	Off    int64  `json:"off"`
+	Len    int64  `json:"len"`
+	CRC    uint32 `json:"crc"`
+}
+
+// label renders the chunk's stage identity for skip reports.
+func (c Chunk) label() string {
+	switch c.Stage {
+	case StageCore:
+		return fmt.Sprintf("core(minpts=%d)", c.MinPts)
+	case StageMST, StageHier:
+		return fmt.Sprintf("%s(kind=%d,algo=%d,minpts=%d)", c.Stage, c.Kind, c.Algo, c.MinPts)
+	}
+	return c.Stage
+}
+
+// Result is a successfully decoded snapshot: the rebuilt engine (stages
+// seeded, build counters untouched) and the list of chunks that failed
+// their checksum or validation and were skipped.
+type Result struct {
+	Header  Header
+	Engine  *engine.Engine
+	Skipped []string
+}
+
+// Encode writes a snapshot of the engine's points and published stages.
+// metricName must be the canonical kernel name (metric.Metric.Name()) the
+// engine runs under; Decode uses it to reconstruct the kernel.
+func Encode(w io.Writer, metricName string, e *engine.Engine) error {
+	if _, err := metric.Parse(metricName); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	n, dim := e.Pts.N, e.Pts.Dim
+	set := e.ExportStages()
+
+	var payload bytes.Buffer
+	hdr := Header{Version: formatVersion, N: n, Dim: dim, Metric: metricName}
+	add := func(c Chunk, body []byte) {
+		c.Off = int64(payload.Len())
+		c.Len = int64(len(body))
+		c.CRC = crc32.Checksum(body, castagnoli)
+		payload.Write(body)
+		hdr.Chunks = append(hdr.Chunks, c)
+	}
+
+	ptsBody := appendFloats(make([]byte, 0, 8*len(e.Pts.Data)), e.Pts.Data)
+	h := fnv.New64a()
+	h.Write(ptsBody)
+	hdr.ContentHash = fmt.Sprintf("%016x", h.Sum64())
+	add(Chunk{Stage: StagePoints}, ptsBody)
+
+	if set.Tree != nil {
+		add(Chunk{Stage: StageTree}, set.Tree.AppendSnapshot(make([]byte, 0, set.Tree.SnapshotSize())))
+	}
+	for mp, cd := range set.Cores {
+		add(Chunk{Stage: StageCore, MinPts: mp}, appendFloats(make([]byte, 0, 8*len(cd)), cd))
+	}
+	for k, edges := range set.MSTs {
+		body := make([]byte, 0, 16*len(edges))
+		for _, ed := range edges {
+			body = binary.LittleEndian.AppendUint32(body, uint32(ed.U))
+			body = binary.LittleEndian.AppendUint32(body, uint32(ed.V))
+			body = binary.LittleEndian.AppendUint64(body, math.Float64bits(ed.W))
+		}
+		add(Chunk{Stage: StageMST, Kind: uint8(k.Kind), Algo: k.Algo, MinPts: k.MinPts}, body)
+	}
+	for k, d := range set.Hiers {
+		body := make([]byte, 0, 16*d.NumInternal())
+		for _, v := range d.Left {
+			body = binary.LittleEndian.AppendUint32(body, uint32(v))
+		}
+		for _, v := range d.Right {
+			body = binary.LittleEndian.AppendUint32(body, uint32(v))
+		}
+		for _, v := range d.Height {
+			body = binary.LittleEndian.AppendUint64(body, math.Float64bits(v))
+		}
+		add(Chunk{Stage: StageHier, Kind: uint8(k.Kind), Algo: k.Algo, MinPts: k.MinPts}, body)
+	}
+
+	hdrBytes, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("store: marshal header: %w", err)
+	}
+	prefix := make([]byte, 0, prefixLen)
+	prefix = append(prefix, magic...)
+	prefix = binary.LittleEndian.AppendUint16(prefix, formatVersion)
+	prefix = binary.LittleEndian.AppendUint32(prefix, uint32(len(hdrBytes)))
+	prefix = binary.LittleEndian.AppendUint32(prefix, crc32.Checksum(hdrBytes, castagnoli))
+	for _, part := range [][]byte{prefix, hdrBytes, payload.Bytes()} {
+		if _, err := w.Write(part); err != nil {
+			return fmt.Errorf("store: write snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// Signature returns the content hash a snapshot of e would carry and the
+// number of chunks it would contain, without materializing the payload.
+// Persistence layers use it for stale-aware writes: skip rewriting a
+// snapshot whose on-disk header already has the same content hash and at
+// least as many chunks.
+func Signature(e *engine.Engine) (contentHash string, chunks int) {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range e.Pts.Data {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	set := e.ExportStages()
+	chunks = 1 + len(set.Cores) + len(set.MSTs) + len(set.Hiers)
+	if set.Tree != nil {
+		chunks++
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), chunks
+}
+
+func appendFloats(buf []byte, vs []float64) []byte {
+	for _, v := range vs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// readValidatedHeader consumes the prefix and header from r and returns the
+// parsed header. It validates the magic, version, header bound, and header
+// checksum.
+func readValidatedHeader(r io.Reader) (*Header, error) {
+	prefix := make([]byte, prefixLen)
+	if _, err := io.ReadFull(r, prefix); err != nil {
+		return nil, fmt.Errorf("store: snapshot prefix: %w", err)
+	}
+	if string(prefix[:6]) != magic {
+		return nil, fmt.Errorf("store: bad magic %q", prefix[:6])
+	}
+	if v := binary.LittleEndian.Uint16(prefix[6:]); v != formatVersion {
+		return nil, fmt.Errorf("store: unsupported snapshot version %d (reader knows %d)", v, formatVersion)
+	}
+	hlen := binary.LittleEndian.Uint32(prefix[8:])
+	hcrc := binary.LittleEndian.Uint32(prefix[12:])
+	if hlen == 0 || hlen > maxHeaderBytes {
+		return nil, fmt.Errorf("store: header length %d out of range", hlen)
+	}
+	hdrBytes := make([]byte, hlen)
+	if _, err := io.ReadFull(r, hdrBytes); err != nil {
+		return nil, fmt.Errorf("store: snapshot header: %w", err)
+	}
+	if got := crc32.Checksum(hdrBytes, castagnoli); got != hcrc {
+		return nil, fmt.Errorf("store: header checksum mismatch (got %08x, want %08x)", got, hcrc)
+	}
+	var hdr Header
+	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
+		return nil, fmt.Errorf("store: parse header: %w", err)
+	}
+	if hdr.Version != formatVersion {
+		return nil, fmt.Errorf("store: header version %d disagrees with container", hdr.Version)
+	}
+	if hdr.N < 0 || hdr.Dim <= 0 {
+		return nil, fmt.Errorf("store: header n=%d dim=%d out of range", hdr.N, hdr.Dim)
+	}
+	return &hdr, nil
+}
+
+// ReadHeader parses and validates only the snapshot header; the payload is
+// not read. Useful for listings and staleness checks.
+func ReadHeader(r io.Reader) (*Header, error) {
+	return readValidatedHeader(r)
+}
+
+// Decode reads a full snapshot and reconstructs a seeded engine. The
+// prefix, header, and points chunk must validate; every other chunk
+// degrades independently into Result.Skipped (that stage rebuilds on first
+// use). Decode never panics on malformed input.
+func Decode(r io.Reader) (*Result, error) {
+	hdr, err := readValidatedHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot payload: %w", err)
+	}
+
+	// chunkBody returns the checksum-verified bytes of c, or an error for a
+	// range/length/CRC violation.
+	chunkBody := func(c Chunk) ([]byte, error) {
+		if c.Off < 0 || c.Len < 0 || c.Off+c.Len > int64(len(payload)) || c.Off+c.Len < c.Off {
+			return nil, fmt.Errorf("store: chunk %s range [%d,+%d) outside %d-byte payload",
+				c.label(), c.Off, c.Len, len(payload))
+		}
+		body := payload[c.Off : c.Off+c.Len]
+		if got := crc32.Checksum(body, castagnoli); got != c.CRC {
+			return nil, fmt.Errorf("store: chunk %s checksum mismatch", c.label())
+		}
+		return body, nil
+	}
+
+	n, dim := hdr.N, hdr.Dim
+	kern, err := metric.Parse(hdr.Metric)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+
+	// The points chunk is required and load-bearing.
+	var ptsBody []byte
+	found := false
+	for _, c := range hdr.Chunks {
+		if c.Stage != StagePoints {
+			continue
+		}
+		if found {
+			return nil, fmt.Errorf("store: duplicate points chunk")
+		}
+		found = true
+		if ptsBody, err = chunkBody(c); err != nil {
+			return nil, err
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("store: snapshot has no points chunk")
+	}
+	if len(ptsBody) != 8*n*dim {
+		return nil, fmt.Errorf("store: points chunk is %d bytes, want %d", len(ptsBody), 8*n*dim)
+	}
+	h := fnv.New64a()
+	h.Write(ptsBody)
+	if got := fmt.Sprintf("%016x", h.Sum64()); got != hdr.ContentHash {
+		return nil, fmt.Errorf("store: content hash mismatch (got %s, want %s)", got, hdr.ContentHash)
+	}
+	pts := geometry.Points{Data: decodeFloats(ptsBody), N: n, Dim: dim}
+	for i, v := range pts.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("store: point %d has non-finite coordinate", i/dim)
+		}
+	}
+
+	res := &Result{Header: *hdr}
+	set := engine.StageSet{
+		Cores: make(map[int][]float64),
+		MSTs:  make(map[engine.StageKey][]mst.Edge),
+		Hiers: make(map[engine.StageKey]*dendrogram.Dendrogram),
+	}
+	skip := func(c Chunk, why error) {
+		res.Skipped = append(res.Skipped, fmt.Sprintf("%s: %v", c.label(), why))
+	}
+	for _, c := range hdr.Chunks {
+		if c.Stage == StagePoints {
+			continue
+		}
+		body, err := chunkBody(c)
+		if err != nil {
+			skip(c, err)
+			continue
+		}
+		switch c.Stage {
+		case StageTree:
+			tr, err := kdtree.DecodeSnapshot(body, pts, kern)
+			if err != nil {
+				skip(c, err)
+				continue
+			}
+			set.Tree = tr
+		case StageCore:
+			if c.MinPts < 1 || c.MinPts > n {
+				skip(c, fmt.Errorf("minpts out of range"))
+				continue
+			}
+			if len(body) != 8*n {
+				skip(c, fmt.Errorf("%d bytes, want %d", len(body), 8*n))
+				continue
+			}
+			set.Cores[c.MinPts] = decodeFloats(body)
+		case StageMST:
+			edges, err := decodeMST(body, n, c)
+			if err != nil {
+				skip(c, err)
+				continue
+			}
+			set.MSTs[engine.StageKey{Kind: engine.Kind(c.Kind), Algo: c.Algo, MinPts: c.MinPts}] = edges
+		case StageHier:
+			d, err := decodeDendrogram(body, n)
+			if err != nil {
+				skip(c, err)
+				continue
+			}
+			set.Hiers[engine.StageKey{Kind: engine.Kind(c.Kind), Algo: c.Algo, MinPts: c.MinPts}] = d
+		default:
+			skip(c, fmt.Errorf("unknown stage"))
+		}
+	}
+
+	eng := engine.New(pts, kern)
+	eng.SeedStages(set)
+	res.Engine = eng
+	return res, nil
+}
+
+func decodeFloats(body []byte) []float64 {
+	out := make([]float64, len(body)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return out
+}
+
+// decodeMST validates and decodes an MST chunk: a spanning tree over n
+// points has exactly max(n-1, 0) edges with both endpoints in [0, n).
+func decodeMST(body []byte, n int, c Chunk) ([]mst.Edge, error) {
+	if c.Kind > uint8(engine.KindHDBSCAN) {
+		return nil, fmt.Errorf("unknown MST kind")
+	}
+	if c.Kind == uint8(engine.KindEMST) && c.MinPts != 0 {
+		return nil, fmt.Errorf("EMST chunk with minpts")
+	}
+	if c.Kind == uint8(engine.KindHDBSCAN) && (c.MinPts < 1 || c.MinPts > n) {
+		return nil, fmt.Errorf("minpts out of range")
+	}
+	want := 0
+	if n > 1 {
+		want = n - 1
+	}
+	if len(body) != 16*want {
+		return nil, fmt.Errorf("%d bytes, want %d for %d edges", len(body), 16*want, want)
+	}
+	edges := make([]mst.Edge, want)
+	for i := range edges {
+		u := int32(binary.LittleEndian.Uint32(body[16*i:]))
+		v := int32(binary.LittleEndian.Uint32(body[16*i+4:]))
+		w := math.Float64frombits(binary.LittleEndian.Uint64(body[16*i+8:]))
+		if u < 0 || int(u) >= n || v < 0 || int(v) >= n || u == v {
+			return nil, fmt.Errorf("edge %d endpoints (%d, %d) out of range", i, u, v)
+		}
+		edges[i] = mst.Edge{U: u, V: v, W: w}
+	}
+	return edges, nil
+}
+
+// decodeDendrogram validates and decodes a hier chunk into a merge tree
+// over n points: n-1 internal nodes with ids n..2n-2, each child id below
+// its parent's and used exactly once, root 2n-2. The validation guarantees
+// every traversal of the result is in-bounds and acyclic.
+func decodeDendrogram(body []byte, n int) (*dendrogram.Dendrogram, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("hier chunk for empty point set")
+	}
+	m := n - 1 // internal nodes
+	if len(body) != 4*m+4*m+8*m {
+		return nil, fmt.Errorf("%d bytes, want %d for %d merges", len(body), 16*m, m)
+	}
+	d := &dendrogram.Dendrogram{
+		N:      n,
+		Left:   make([]int32, m),
+		Right:  make([]int32, m),
+		Height: make([]float64, m),
+		Root:   int32(2*n - 2),
+	}
+	for i := 0; i < m; i++ {
+		d.Left[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
+		d.Right[i] = int32(binary.LittleEndian.Uint32(body[4*m+4*i:]))
+	}
+	for i := 0; i < m; i++ {
+		d.Height[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*m+8*i:]))
+	}
+	childOf := make([]bool, 2*n-1)
+	for i := 0; i < m; i++ {
+		parent := int32(n + i)
+		for _, ch := range [2]int32{d.Left[i], d.Right[i]} {
+			if ch < 0 || ch >= parent {
+				return nil, fmt.Errorf("merge %d has child %d outside [0, %d)", i, ch, parent)
+			}
+			if childOf[ch] {
+				return nil, fmt.Errorf("node %d is the child of two merges", ch)
+			}
+			childOf[ch] = true
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,257 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"parclust/internal/engine"
+	"parclust/internal/geometry"
+	"parclust/internal/hdbscan"
+	"parclust/internal/metric"
+)
+
+func randPoints(n, dim int, seed int64) geometry.Points {
+	rng := rand.New(rand.NewSource(seed))
+	p := geometry.NewPoints(n, dim)
+	for i := range p.Data {
+		p.Data[i] = rng.Float64() * 100
+	}
+	return p
+}
+
+// warmEngine builds an engine with a representative stage mix: tree, two
+// core-distance sets, HDBSCAN MSTs + hierarchies, and an EMST hierarchy.
+func warmEngine(pts geometry.Points) *engine.Engine {
+	e := engine.New(pts, metric.L2{})
+	e.Hierarchy(engine.KindHDBSCAN, uint8(hdbscan.MemoGFK), 5, nil)
+	e.Hierarchy(engine.KindHDBSCAN, uint8(hdbscan.MemoGFK), 9, nil)
+	e.Hierarchy(engine.KindEMST, uint8(engine.EMSTMemoGFK), 1, nil)
+	return e
+}
+
+// labelsAt runs the reference HDBSCAN query the corruption tests compare.
+func labelsAt(e *engine.Engine, minPts int, eps float64) []int32 {
+	return e.Hierarchy(engine.KindHDBSCAN, uint8(hdbscan.MemoGFK), minPts, nil).CutAt(eps).Labels
+}
+
+func encodeWarm(t *testing.T, pts geometry.Points) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, "l2", warmEngine(pts)); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 400} {
+		pts := randPoints(n, 3, int64(n+1))
+		e := engine.New(pts, metric.L2{})
+		if n > 0 {
+			e.Hierarchy(engine.KindHDBSCAN, uint8(hdbscan.MemoGFK), min(n, 5), nil)
+			e.Hierarchy(engine.KindEMST, uint8(engine.EMSTMemoGFK), 1, nil)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, "l2", e); err != nil {
+			t.Fatalf("n=%d: encode: %v", n, err)
+		}
+		res, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if len(res.Skipped) != 0 {
+			t.Fatalf("n=%d: clean snapshot skipped chunks: %v", n, res.Skipped)
+		}
+		if res.Header.N != n || res.Header.Dim != 3 || res.Header.Metric != "l2" {
+			t.Fatalf("n=%d: header %+v", n, res.Header)
+		}
+		for i := range pts.Data {
+			if res.Engine.Pts.Data[i] != pts.Data[i] {
+				t.Fatalf("n=%d: decoded points differ at %d", n, i)
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		mp := min(n, 5)
+		want := labelsAt(e, mp, 2.5)
+		got := labelsAt(res.Engine, mp, 2.5)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: label %d differs after round trip", n, i)
+			}
+		}
+		c := res.Engine.Counters()
+		if c.TreeBuilds != 0 || c.CoreDistBuilds != 0 || c.MSTBuilds != 0 || c.DendrogramBuilds != 0 {
+			t.Fatalf("n=%d: decoded engine rebuilt stages: %+v", n, c)
+		}
+	}
+}
+
+func TestSnapshotRoundTripMetrics(t *testing.T) {
+	pts := randPoints(200, 2, 9)
+	for _, name := range []string{"l2", "sql2", "l1", "linf", "angular"} {
+		kern, err := metric.Parse(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := pts
+		if name == "angular" {
+			if p, err = metric.NormalizeRows(pts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e := engine.New(p, kern)
+		e.Hierarchy(engine.KindHDBSCAN, uint8(hdbscan.MemoGFK), 4, nil)
+		var buf bytes.Buffer
+		if err := Encode(&buf, name, e); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		res, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		want, got := labelsAt(e, 4, 0.8), labelsAt(res.Engine, 4, 0.8)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: label %d differs", name, i)
+			}
+		}
+		if c := res.Engine.Counters(); c.TreeBuilds != 0 || c.MSTBuilds != 0 {
+			t.Fatalf("%s: decoded engine rebuilt stages", name)
+		}
+	}
+}
+
+// TestSnapshotTruncation cuts the snapshot at every chunk boundary (and a
+// few interior offsets): decode must either fail cleanly or succeed with
+// the damaged stages skipped — and a surviving engine must still answer
+// the reference query correctly.
+func TestSnapshotTruncation(t *testing.T) {
+	pts := randPoints(300, 2, 3)
+	snap := encodeWarm(t, pts)
+	hdr, err := ReadHeader(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloadBase := len(snap) - int(payloadSize(hdr))
+	want := labelsAt(engine.New(pts, metric.L2{}), 5, 2.5)
+
+	cuts := []int{0, 3, prefixLen - 1, prefixLen, prefixLen + 5, payloadBase - 1}
+	for _, c := range hdr.Chunks {
+		cuts = append(cuts, payloadBase+int(c.Off), payloadBase+int(c.Off+c.Len/2), payloadBase+int(c.Off+c.Len))
+	}
+	for _, cut := range cuts {
+		if cut < 0 || cut >= len(snap) {
+			continue
+		}
+		res, err := Decode(bytes.NewReader(snap[:cut]))
+		if err != nil {
+			continue // clean failure: caller rebuilds from scratch
+		}
+		// Points survived; damaged stage chunks must be skipped and the
+		// engine must still produce correct labels by rebuilding them.
+		if len(res.Skipped) == 0 && cut < len(snap) {
+			t.Fatalf("cut=%d: truncated snapshot decoded with no skipped chunks", cut)
+		}
+		got := labelsAt(res.Engine, 5, 2.5)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cut=%d: wrong label %d after truncation", cut, i)
+			}
+		}
+	}
+}
+
+// TestSnapshotBitFlips corrupts one byte inside every region (prefix,
+// header, each chunk): decode must fail cleanly or skip exactly the
+// damaged chunk, and labels must stay correct. CRC-32C catches every
+// single-byte flip, so a flipped stage chunk always lands in Skipped.
+func TestSnapshotBitFlips(t *testing.T) {
+	pts := randPoints(300, 2, 4)
+	snap := encodeWarm(t, pts)
+	hdr, err := ReadHeader(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloadBase := len(snap) - int(payloadSize(hdr))
+	want := labelsAt(engine.New(pts, metric.L2{}), 5, 2.5)
+
+	// Prefix and header flips must fail decode outright.
+	for _, off := range []int{0, 6, 8, 12, prefixLen, payloadBase - 1} {
+		mut := append([]byte(nil), snap...)
+		mut[off] ^= 0x40
+		if _, err := Decode(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flip at prefix/header offset %d decoded successfully", off)
+		}
+	}
+	for _, c := range hdr.Chunks {
+		if c.Len == 0 {
+			continue
+		}
+		for _, rel := range []int64{0, c.Len / 2, c.Len - 1} {
+			off := payloadBase + int(c.Off+rel)
+			mut := append([]byte(nil), snap...)
+			mut[off] ^= 0x40
+			res, err := Decode(bytes.NewReader(mut))
+			if c.Stage == StagePoints {
+				if err == nil {
+					t.Fatalf("flipped points chunk at +%d decoded successfully", rel)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("flip in chunk %s at +%d failed whole decode: %v", c.Stage, rel, err)
+			}
+			if len(res.Skipped) != 1 {
+				t.Fatalf("flip in chunk %s at +%d: skipped %v, want exactly the damaged chunk",
+					c.Stage, rel, res.Skipped)
+			}
+			got := labelsAt(res.Engine, 5, 2.5)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("flip in chunk %s: wrong label %d", c.Stage, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotRejectsBadInputs(t *testing.T) {
+	pts := randPoints(50, 2, 5)
+	snap := encodeWarm(t, pts)
+
+	// Unknown version.
+	mut := append([]byte(nil), snap...)
+	binary.LittleEndian.PutUint16(mut[6:], 99)
+	if _, err := Decode(bytes.NewReader(mut)); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	// Bad metric name never reaches Encode's output.
+	var buf bytes.Buffer
+	if err := Encode(&buf, "bogus", engine.New(pts, metric.L2{})); err == nil {
+		t.Fatal("Encode accepted an unknown metric name")
+	}
+	// Empty and garbage inputs.
+	for _, data := range [][]byte{nil, []byte("x"), []byte("PCSNAPxxxxxxxxxxxx")} {
+		if _, err := Decode(bytes.NewReader(data)); err == nil {
+			t.Fatal("garbage input accepted")
+		}
+		if _, err := ReadHeader(bytes.NewReader(data)); err == nil {
+			t.Fatal("garbage header accepted")
+		}
+	}
+}
+
+// payloadSize sums the chunk extents (chunks are laid out back to back).
+func payloadSize(hdr *Header) int64 {
+	var end int64
+	for _, c := range hdr.Chunks {
+		if c.Off+c.Len > end {
+			end = c.Off + c.Len
+		}
+	}
+	return end
+}

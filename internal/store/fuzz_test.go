@@ -1,0 +1,51 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotHeader throws arbitrary bytes at the snapshot reader: both
+// the header-only parse and the full decode must return an error or a
+// valid result — never panic, never over-allocate from unvalidated header
+// fields.
+func FuzzSnapshotHeader(f *testing.F) {
+	snap := func(n int) []byte {
+		var buf bytes.Buffer
+		if err := Encode(&buf, "l2", warmEngine(randPoints(n, 2, int64(n)))); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	valid := snap(40)
+	f.Add(valid)
+	f.Add(snap(0))
+	f.Add(valid[:prefixLen])
+	f.Add(valid[:len(valid)/2])
+	trunc := append([]byte(nil), valid[:len(valid)-7]...)
+	f.Add(trunc)
+	flip := append([]byte(nil), valid...)
+	flip[prefixLen+3] ^= 0xff
+	f.Add(flip)
+	f.Add([]byte(magic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if hdr, err := ReadHeader(bytes.NewReader(data)); err == nil && hdr == nil {
+			t.Fatal("ReadHeader returned nil, nil")
+		}
+		res, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful decode must hold its structural promises: the engine
+		// exists and answers a basic query without panicking.
+		if res.Engine == nil {
+			t.Fatal("Decode returned nil engine without error")
+		}
+		if n := res.Engine.N(); n != res.Header.N {
+			t.Fatalf("engine has %d points, header says %d", n, res.Header.N)
+		}
+		if res.Header.N > 0 && res.Header.N <= 64 {
+			res.Engine.Hierarchy(1, 0, min(res.Header.N, 4), nil).CutAt(1)
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Ext is the snapshot file extension.
+const Ext = ".pcsnap"
+
+// SafeName reports whether name is safe to use as a snapshot file stem:
+// 1-128 characters from [A-Za-z0-9._-], not starting with a dot. The
+// leading-dot rule is what keeps ".", "..", and hidden files out of the
+// data directory — dataset names become file names verbatim.
+func SafeName(name string) bool {
+	if len(name) == 0 || len(name) > 128 || name[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Dir manages a flat directory of snapshot files, one per dataset name.
+// All methods are safe for concurrent use (the filesystem provides the
+// synchronization; writes are atomic renames).
+type Dir struct {
+	path string
+}
+
+// OpenDir creates (if needed) and opens a snapshot directory.
+func OpenDir(path string) (*Dir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create data dir: %w", err)
+	}
+	return &Dir{path: path}, nil
+}
+
+// Path returns the snapshot file path for a dataset name. The caller must
+// have checked SafeName.
+func (d *Dir) Path(name string) string {
+	return filepath.Join(d.path, name+Ext)
+}
+
+// Write atomically replaces the snapshot for name: the content is written
+// to a temp file in the same directory, fsynced, and renamed into place,
+// so a crash mid-write never leaves a torn snapshot behind. Returns the
+// byte size written.
+func (d *Dir) Write(name string, write func(w io.Writer) error) (int64, error) {
+	if !SafeName(name) {
+		return 0, fmt.Errorf("store: unsafe dataset name %q", name)
+	}
+	f, err := os.CreateTemp(d.path, ".tmp-"+name+"-*")
+	if err != nil {
+		return 0, fmt.Errorf("store: create temp snapshot: %w", err)
+	}
+	tmp := f.Name()
+	defer os.Remove(tmp) // no-op after a successful rename
+	if err := write(f); err != nil {
+		f.Close()
+		return 0, err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: finalize temp snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, d.Path(name)); err != nil {
+		return 0, fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	return size, nil
+}
+
+// Open opens the snapshot for name for reading. A missing snapshot yields
+// an error satisfying os.IsNotExist.
+func (d *Dir) Open(name string) (*os.File, error) {
+	if !SafeName(name) {
+		return nil, fmt.Errorf("store: unsafe dataset name %q", name)
+	}
+	return os.Open(d.Path(name))
+}
+
+// ReadHeaderFile parses and validates only the header of name's snapshot.
+func (d *Dir) ReadHeaderFile(name string) (*Header, error) {
+	f, err := d.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadHeader(f)
+}
+
+// Remove deletes the snapshot for name; removing a missing snapshot is not
+// an error.
+func (d *Dir) Remove(name string) error {
+	if !SafeName(name) {
+		return fmt.Errorf("store: unsafe dataset name %q", name)
+	}
+	if err := os.Remove(d.Path(name)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Has reports whether a snapshot for name exists.
+func (d *Dir) Has(name string) bool {
+	if !SafeName(name) {
+		return false
+	}
+	_, err := os.Stat(d.Path(name))
+	return err == nil
+}
+
+// List returns the dataset names with a snapshot on disk, sorted. Files
+// with unsafe stems (including in-flight temp files, which start with a
+// dot) are ignored.
+func (d *Dir) List() ([]string, error) {
+	ents, err := os.ReadDir(d.path)
+	if err != nil {
+		return nil, fmt.Errorf("store: list data dir: %w", err)
+	}
+	var names []string
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), Ext) {
+			continue
+		}
+		stem := strings.TrimSuffix(ent.Name(), Ext)
+		if SafeName(stem) {
+			names = append(names, stem)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// DiskStats returns the number of snapshots and their total byte size.
+func (d *Dir) DiskStats() (count int, bytes int64) {
+	names, err := d.List()
+	if err != nil {
+		return 0, 0
+	}
+	for _, name := range names {
+		if fi, err := os.Stat(d.Path(name)); err == nil {
+			count++
+			bytes += fi.Size()
+		}
+	}
+	return count, bytes
+}

@@ -1,0 +1,162 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parclust/internal/engine"
+	"parclust/internal/metric"
+)
+
+func TestSafeName(t *testing.T) {
+	good := []string{"a", "iris", "a-b_c.d", "A9", "x" + string(make([]byte, 0)), "trailing.", "v1.2.3"}
+	for _, name := range good {
+		if !SafeName(name) {
+			t.Errorf("SafeName(%q) = false, want true", name)
+		}
+	}
+	bad := []string{"", ".", "..", "...", ".hidden", "a/b", "a\\b", "a b", "über", "a\x00b",
+		string(bytes.Repeat([]byte("x"), 129))}
+	for _, name := range bad {
+		if SafeName(name) {
+			t.Errorf("SafeName(%q) = true, want false", name)
+		}
+	}
+	if !SafeName(string(bytes.Repeat([]byte("x"), 128))) {
+		t.Error("128-char name rejected")
+	}
+}
+
+func TestDirWriteReadRemove(t *testing.T) {
+	dir, err := OpenDir(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := warmEngine(randPoints(100, 2, 1))
+	size, err := dir.Write("iris", func(w io.Writer) error { return Encode(w, "l2", e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(dir.Path("iris")); err != nil || fi.Size() != size {
+		t.Fatalf("stat after write: %v (size %d, want %d)", err, fi.Size(), size)
+	}
+	hdr, err := dir.ReadHeaderFile("iris")
+	if err != nil || hdr.N != 100 {
+		t.Fatalf("header: %v (n=%d)", err, hdr.N)
+	}
+	if names, _ := dir.List(); len(names) != 1 || names[0] != "iris" {
+		t.Fatalf("List = %v", names)
+	}
+	if count, b := dir.DiskStats(); count != 1 || b != size {
+		t.Fatalf("DiskStats = %d, %d", count, b)
+	}
+	f, err := dir.Open("iris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(f)
+	f.Close()
+	if err != nil || res.Engine.N() != 100 {
+		t.Fatalf("decode from file: %v", err)
+	}
+	if err := dir.Remove("iris"); err != nil {
+		t.Fatal(err)
+	}
+	if dir.Has("iris") {
+		t.Fatal("snapshot still present after Remove")
+	}
+	if err := dir.Remove("iris"); err != nil {
+		t.Fatalf("removing a missing snapshot: %v", err)
+	}
+	if _, err := dir.Open("iris"); !os.IsNotExist(errors.Unwrap(err)) && !os.IsNotExist(err) {
+		t.Fatalf("Open after remove: %v", err)
+	}
+}
+
+// TestDirWriteAtomic interrupts a write mid-stream: the published snapshot
+// must be the old intact one, and no temp litter may remain visible.
+func TestDirWriteAtomic(t *testing.T) {
+	dir, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := warmEngine(randPoints(80, 2, 2))
+	if _, err := dir.Write("d", func(w io.Writer) error { return Encode(w, "l2", e) }); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(dir.Path("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	if _, err := dir.Write("d", func(w io.Writer) error {
+		w.Write([]byte("partial garbage"))
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("failed write returned %v", err)
+	}
+	after, err := os.ReadFile(dir.Path("d"))
+	if err != nil || !bytes.Equal(before, after) {
+		t.Fatal("failed write damaged the published snapshot")
+	}
+	if names, _ := dir.List(); len(names) != 1 {
+		t.Fatalf("List after failed write = %v", names)
+	}
+}
+
+func TestDirRejectsUnsafeNames(t *testing.T) {
+	dir, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"..", ".hidden", "a/b", ""} {
+		if _, err := dir.Write(name, func(w io.Writer) error { return nil }); err == nil {
+			t.Errorf("Write(%q) accepted", name)
+		}
+		if _, err := dir.Open(name); err == nil {
+			t.Errorf("Open(%q) accepted", name)
+		}
+		if err := dir.Remove(name); err == nil {
+			t.Errorf("Remove(%q) accepted", name)
+		}
+		if dir.Has(name) {
+			t.Errorf("Has(%q) = true", name)
+		}
+	}
+}
+
+// TestDecodeSkipReportsAreActionable checks Result.Skipped names the
+// damaged stage.
+func TestDecodeSkipReportsAreActionable(t *testing.T) {
+	pts := randPoints(120, 2, 6)
+	e := engine.New(pts, metric.L2{})
+	e.CoreDist(5, nil)
+	var buf bytes.Buffer
+	if err := Encode(&buf, "l2", e); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+	hdr, err := ReadHeader(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloadBase := len(snap) - int(payloadSize(hdr))
+	for _, c := range hdr.Chunks {
+		if c.Stage != StageCore {
+			continue
+		}
+		mut := append([]byte(nil), snap...)
+		mut[payloadBase+int(c.Off)] ^= 0x01
+		res, err := Decode(bytes.NewReader(mut))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Skipped) != 1 || !bytes.Contains([]byte(res.Skipped[0]), []byte("core(minpts=5)")) {
+			t.Fatalf("Skipped = %v, want core(minpts=5) checksum report", res.Skipped)
+		}
+	}
+}

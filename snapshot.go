@@ -1,0 +1,87 @@
+package parclust
+
+import (
+	"fmt"
+	"io"
+
+	"parclust/internal/store"
+)
+
+// WriteSnapshot serializes the Index — its prepared points and every
+// memoized stage output (tree, core distances, MSTs, dendrograms) — into
+// the versioned, checksummed container documented in internal/store.
+// Reading the snapshot back with ReadSnapshot yields an Index that answers
+// every query byte-identically without rebuilding any serialized stage.
+// Safe to call concurrently with queries: stages published after the
+// snapshot begins are simply not included.
+func (ix *Index) WriteSnapshot(w io.Writer) error {
+	return store.Encode(w, ix.eng.Kern.Name(), ix.eng)
+}
+
+// SnapshotDetails reports what a snapshot contained and what was usable.
+type SnapshotDetails struct {
+	// Metric is the kernel the snapshotted Index ran under.
+	Metric Metric
+	// N and Dim describe the point set.
+	N, Dim int
+	// Stages is the number of serialized stage chunks (tree, core
+	// distances, MSTs, dendrograms; the points chunk is not counted).
+	Stages int
+	// SkippedStages lists stage chunks that failed their checksum or
+	// validation and were dropped; those stages rebuild on first use.
+	// A clean snapshot has none.
+	SkippedStages []string
+}
+
+// ReadSnapshot reconstructs an Index from a WriteSnapshot stream. The
+// restored Index serves the serialized stages without rebuilding them
+// (its Stats build counters stay zero until a query needs something the
+// snapshot did not carry). A snapshot with a damaged header or points
+// section yields an error; individually damaged stage chunks are dropped
+// and rebuilt on demand — use ReadSnapshotDetails to observe that.
+func ReadSnapshot(r io.Reader) (*Index, error) {
+	ix, _, err := ReadSnapshotDetails(r)
+	return ix, err
+}
+
+// ReadSnapshotDetails is ReadSnapshot plus a report of the snapshot's
+// contents and any skipped stage chunks.
+func ReadSnapshotDetails(r io.Reader) (*Index, *SnapshotDetails, error) {
+	res, err := store.Decode(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parclust: %w", err)
+	}
+	m, err := ParseMetric(res.Header.Metric)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The snapshot stores the prepared point set (already unit-normalized
+	// for the angular kernel), so the engine is constructed directly from
+	// the decoded points: re-running preparation would normalize twice.
+	ix := &Index{metric: m, eng: res.Engine}
+	det := &SnapshotDetails{
+		Metric:        m,
+		N:             res.Header.N,
+		Dim:           res.Header.Dim,
+		Stages:        len(res.Header.Chunks) - 1,
+		SkippedStages: res.Skipped,
+	}
+	return ix, det, nil
+}
+
+// SnapshotSignature identifies a snapshot's content for stale-aware
+// persistence: two Indexes over the same prepared points share a
+// ContentHash, and Chunks grows as more stages are memoized. A stored
+// snapshot is current if its header carries the same ContentHash and at
+// least as many chunks.
+type SnapshotSignature struct {
+	ContentHash string
+	Chunks      int
+}
+
+// SnapshotSignature returns the signature WriteSnapshot would produce
+// right now.
+func (ix *Index) SnapshotSignature() SnapshotSignature {
+	hash, chunks := store.Signature(ix.eng)
+	return SnapshotSignature{ContentHash: hash, Chunks: chunks}
+}
