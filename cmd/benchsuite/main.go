@@ -9,7 +9,8 @@
 //	benchsuite -exp all
 //
 // Experiments: table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10
-// memory pairs all. See EXPERIMENTS.md for the mapping to the paper.
+// memory pairs metrics serve daemon restart overload all. See
+// EXPERIMENTS.md for the mapping to the paper.
 package main
 
 import (
@@ -41,7 +42,7 @@ import (
 )
 
 var (
-	expFlag      = flag.String("exp", "all", "experiment to run (table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10 memory pairs metrics serve daemon restart all)")
+	expFlag      = flag.String("exp", "all", "experiment to run (table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10 memory pairs metrics serve daemon restart overload all)")
 	nFlag        = flag.Int("n", 10000, "points per dataset")
 	minPtsFlag   = flag.Int("minpts", 10, "HDBSCAN* minPts")
 	seedFlag     = flag.Int64("seed", 42, "generator seed")
@@ -96,7 +97,7 @@ func main() {
 		*nFlag, *minPtsFlag, *seedFlag, runtime.NumCPU())
 	exps := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
-		exps = []string{"table3", "table4", "table5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "memory", "pairs", "metrics", "serve", "daemon", "restart"}
+		exps = []string{"table3", "table4", "table5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "memory", "pairs", "metrics", "serve", "daemon", "restart", "overload"}
 	}
 	summary := jsonSummary{
 		N:         *nFlag,
@@ -140,6 +141,8 @@ func main() {
 			daemonStudy()
 		case "restart":
 			restartStudy()
+		case "overload":
+			overloadStudy()
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", e)
 			os.Exit(2)
@@ -1037,6 +1040,165 @@ func daemonStudy() {
 		c.TreeBuilds, c.MSTBuilds, c.DendrogramHits, c.CutBuilds, c.CutHits, c.CoalescedTotal)
 	if hwm := vmHWM(); hwm > 0 {
 		fmt.Printf("process VmHWM (lifetime RSS high-water): %.1f MiB\n", float64(hwm)/(1<<20))
+	}
+}
+
+// overloadStudy drives 64 concurrent clients into a deliberately
+// capacity-limited daemon — 2 cold-build slots, a per-tenant rate limit,
+// and a query deadline — and reports how the admission layer holds up:
+// served vs shed (by cause) with the p50/p99 of the served requests. One
+// dataset is pre-warmed (its fixed query is a cut-cache hit); the rest are
+// cold, and clients keep rotating minPts so cold builds keep arriving
+// faster than the gate admits them. The run ends with a goroutine settle
+// check: shedding 429/503/504 under saturation must leak nothing.
+func overloadStudy() {
+	fmt.Println("\n## Overload: 64 clients vs a capacity-limited daemon (2 cold-build slots, per-tenant rate limit, query deadline)")
+	srv, err := daemon.New(daemon.Config{
+		MaxColdBuilds: 2,
+		QueryTimeout:  2 * time.Second,
+		RateQPS:       200,
+		RateBurst:     20,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	n := *nFlag
+	if n > 4000 {
+		n = 4000 // overload measures the admission layer, not pipeline scale
+	}
+	const numDatasets = 8
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	for i := 0; i < numDatasets; i++ {
+		pts := generator.SSVarden(n, 2, *seedFlag+int64(i))
+		rows := make([][]float64, pts.N)
+		for j := 0; j < pts.N; j++ {
+			rows[j] = pts.Data[j*pts.Dim : (j+1)*pts.Dim]
+		}
+		body, err := json.Marshal(map[string]any{"points": rows})
+		if err != nil {
+			panic(err)
+		}
+		req, err := http.NewRequest(http.MethodPut, fmt.Sprintf("%s/v1/datasets/ov%d", ts.URL, i), bytes.NewReader(body))
+		if err != nil {
+			panic(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		r, err := client.Do(req)
+		if err != nil {
+			panic(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusCreated {
+			panic(fmt.Sprintf("upload ov%d: status %d", i, r.StatusCode))
+		}
+	}
+	// Pre-warm ov0 so the fixed warm query is a pure cut-cache hit.
+	warmPath := fmt.Sprintf("/v1/datasets/ov0/hdbscan?minpts=%d&eps=0.5&labels=false", *minPtsFlag)
+	r, err := client.Get(ts.URL + warmPath)
+	if err != nil {
+		panic(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		panic(fmt.Sprintf("warmup: status %d", r.StatusCode))
+	}
+	client.CloseIdleConnections()
+	time.Sleep(100 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	const clients = 64
+	window := 1500 * time.Millisecond
+	var served, shed429, shed503, shed504, failed atomic.Int64
+	latCh := make(chan []time.Duration, clients)
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+			defer cl.CloseIdleConnections()
+			var lats []time.Duration
+			for i := 0; time.Now().Before(deadline); i++ {
+				// Even clients hammer the warm cut; odd clients rotate
+				// minPts across the cold datasets, demanding fresh builds.
+				path := warmPath
+				if c%2 == 1 {
+					path = fmt.Sprintf("/v1/datasets/ov%d/hdbscan?minpts=%d&eps=0.5&labels=false",
+						1+(c/2+i)%(numDatasets-1), *minPtsFlag+i%5)
+				}
+				req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+				if err != nil {
+					panic(err)
+				}
+				req.Header.Set("X-Tenant", fmt.Sprintf("t%d", c%8))
+				t0 := time.Now()
+				resp, err := cl.Do(req)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					served.Add(1)
+					lats = append(lats, time.Since(t0))
+				case http.StatusTooManyRequests:
+					shed429.Add(1)
+					time.Sleep(5 * time.Millisecond) // honor the backoff
+				case http.StatusServiceUnavailable:
+					shed503.Add(1)
+					time.Sleep(5 * time.Millisecond)
+				case http.StatusGatewayTimeout:
+					shed504.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+			latCh <- lats
+		}(c)
+	}
+	wg.Wait()
+	close(latCh)
+	var all []time.Duration
+	for lats := range latCh {
+		all = append(all, lats...)
+	}
+	if failed.Load() > 0 {
+		panic(fmt.Sprintf("%d overload queries failed outright (not shed)", failed.Load()))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p50 := percentile(all, 0.50).Seconds() * 1e3
+	p99 := percentile(all, 0.99).Seconds() * 1e3
+	fmt.Println("clients | served | shed_429 | shed_503 | shed_504 | p50_ms | p99_ms")
+	fmt.Printf("%d | %d | %d | %d | %d | %.3f | %.3f\n",
+		clients, served.Load(), shed429.Load(), shed503.Load(), shed504.Load(), p50, p99)
+	benchfmtLines = append(benchfmtLines, fmt.Sprintf(
+		"BenchmarkDaemonOverload/clients=%d %d %.0f p50-ns/op %.0f p99-ns/op %d shed",
+		clients, served.Load(), p50*1e6, p99*1e6,
+		shed429.Load()+shed503.Load()+shed504.Load()))
+
+	// Goroutine settle check: after the storm, everything the admission
+	// layer spawned (flight watchers, timers, handlers) must be gone.
+	client.CloseIdleConnections()
+	settleDeadline := time.Now().Add(15 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= baseline+3 {
+			fmt.Printf("goroutine settle: baseline=%d settled=%d (no leak)\n", baseline, now)
+			break
+		}
+		if time.Now().After(settleDeadline) {
+			panic(fmt.Sprintf("goroutine leak after overload: baseline=%d now=%d", baseline, now))
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 

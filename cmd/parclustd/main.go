@@ -20,6 +20,13 @@
 // (see internal/store), and a restarted daemon lazily reloads them on
 // first query, serving byte-identical responses with zero stage rebuilds.
 //
+// Overload protection is opt-in per mechanism: -query-timeout bounds one
+// query (504 on expiry, its cold build cooperatively aborted),
+// -rate-qps/-rate-burst rate-limit per tenant (429), -max-cold-builds
+// bounds concurrent cold stage builds (503 while warm queries keep
+// answering), and -tenant-max-bytes caps one tenant's resident bytes
+// (507). Every shed response carries Retry-After.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, then
 // in-flight queries get -drain to finish, then every resident dataset is
 // persisted (with -data-dir) so the next start serves them warm.
@@ -48,6 +55,12 @@ var (
 	drainFlag      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight queries")
 	dataDirFlag    = flag.String("data-dir", "", "snapshot directory for the persistent stage store (empty = in-memory only): uploads and shutdown persist datasets there, restarts reload them lazily with zero stage rebuilds")
 	spillFlag      = flag.Bool("spill", true, "with -data-dir, write a warm snapshot when the memory budget evicts a dataset, so its computed stages survive the eviction")
+
+	queryTimeoutFlag  = flag.Duration("query-timeout", 0, "deadline for one dataset query including any cold stage builds it triggers (0 = unlimited): an expired query answers 504 and its cold build is cooperatively aborted")
+	rateQPSFlag       = flag.Float64("rate-qps", 0, "per-tenant request rate limit in requests/second (0 = unlimited): tenants are the X-Tenant header or the remote host, excess requests answer 429 with Retry-After")
+	rateBurstFlag     = flag.Int("rate-burst", 0, "token-bucket burst size for -rate-qps (0 = ceil(rate-qps))")
+	maxColdBuildsFlag = flag.Int("max-cold-builds", 0, "concurrently admitted cold stage builds across all datasets (0 = unlimited): excess cold builds answer 503 with Retry-After while warm queries keep answering")
+	tenantBytesFlag   = flag.Int64("tenant-max-bytes", 0, "per-tenant resident dataset byte quota (0 = unlimited): an upload over quota answers 507 with Retry-After")
 )
 
 func main() {
@@ -59,6 +72,11 @@ func main() {
 		MaxSweepCells:  *sweepCellsFlag,
 		DataDir:        *dataDirFlag,
 		Spill:          *spillFlag && *dataDirFlag != "",
+		QueryTimeout:   *queryTimeoutFlag,
+		RateQPS:        *rateQPSFlag,
+		RateBurst:      *rateBurstFlag,
+		MaxColdBuilds:  *maxColdBuildsFlag,
+		TenantMaxBytes: *tenantBytesFlag,
 	})
 	if err != nil {
 		log.Fatalf("start: %v", err)

@@ -1,6 +1,7 @@
 package parclust
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -10,6 +11,11 @@ import (
 	"parclust/internal/kdtree"
 	"parclust/internal/optics"
 )
+
+// ErrOverloaded is returned by queries that needed a cold stage build while
+// the Index's build gate (SetBuildGate) was saturated. Nothing was built;
+// queries over already-memoized stages are unaffected.
+var ErrOverloaded = engine.ErrOverloaded
 
 // Neighbor is one k-NN result entry: an original point id and its
 // tree-metric distance to the query point.
@@ -57,6 +63,31 @@ type IndexOptions struct {
 type Index struct {
 	metric Metric
 	eng    *engine.Engine
+
+	// ctx, when non-nil, bounds every cold stage build this handle
+	// triggers (see WithContext). nil means context.Background().
+	ctx context.Context
+}
+
+// WithContext returns a handle sharing this Index's memoized stages whose
+// queries are bounded by ctx: a cold stage build checks ctx before
+// starting, a parked duplicate request abandons its wait when ctx is done,
+// and a running build is cooperatively cancelled once every request
+// interested in it is gone (the query then returns ctx.Err()). Queries
+// served from memoized stages never fail. The parent Index is unaffected.
+func (ix *Index) WithContext(ctx context.Context) *Index {
+	c := *ix
+	c.ctx = ctx
+	return &c
+}
+
+// SetBuildGate installs an admission gate consulted before every cold
+// stage build: gate() either admits (returning a release func the engine
+// calls when the build finishes) or rejects, failing the query with
+// ErrOverloaded. Coalesced duplicate requests ride the admitted leader and
+// never consume extra capacity; memoized reads bypass the gate entirely.
+func (ix *Index) SetBuildGate(gate func() (release func(), ok bool)) {
+	ix.eng.SetBuildGate(gate)
 }
 
 // NewIndex validates pts and returns an Index over it. The points are
@@ -145,7 +176,10 @@ func (ix *Index) hdbscanWithStats(minPts int, algo HDBSCANAlgorithm, stats *Stat
 	if stats == nil {
 		stats = NewStats()
 	}
-	st := ix.eng.Hierarchy(engine.KindHDBSCAN, uint8(ha), minPts, stats)
+	st, err := ix.eng.Hierarchy(ix.ctx, engine.KindHDBSCAN, uint8(ha), minPts, stats)
+	if err != nil {
+		return nil, err
+	}
 	return newHierarchy(st, minPts, stats), nil
 }
 
@@ -156,7 +190,10 @@ func (ix *Index) SingleLinkage() (*Hierarchy, error) {
 }
 
 func (ix *Index) singleLinkageWithStats(stats *Stats) (*Hierarchy, error) {
-	st := ix.eng.Hierarchy(engine.KindEMST, uint8(engine.EMSTMemoGFK), 1, stats)
+	st, err := ix.eng.Hierarchy(ix.ctx, engine.KindEMST, uint8(engine.EMSTMemoGFK), 1, stats)
+	if err != nil {
+		return nil, err
+	}
 	return newHierarchy(st, 1, stats), nil
 }
 
@@ -189,7 +226,7 @@ func (ix *Index) emstWithStats(algo EMSTAlgorithm, stats *Stats) ([]Edge, error)
 			return nil, fmt.Errorf("parclust: %v requires 2D points, got %dD", algo, ix.Dim())
 		}
 	}
-	return ix.eng.EMST(ea, stats), nil
+	return ix.eng.EMST(ix.ctx, ea, stats)
 }
 
 // DBSCANStar computes the flat DBSCAN* clustering at (minPts, eps) over
@@ -202,7 +239,10 @@ func (ix *Index) DBSCANStar(minPts int, eps float64) (Clustering, error) {
 	if err != nil || done {
 		return r, err
 	}
-	res := ix.dbscanResult(minPts, eps)
+	res, err := ix.dbscanResult(minPts, eps)
+	if err != nil {
+		return Clustering{}, err
+	}
 	return Clustering{Labels: res.Labels, NumClusters: res.NumClusters}, nil
 }
 
@@ -213,7 +253,15 @@ func (ix *Index) DBSCAN(minPts int, eps float64) (Clustering, error) {
 	if err != nil || done {
 		return r, err
 	}
-	res := dbscan.AttachBorders(ix.eng.Tree(nil), ix.dbscanResult(minPts, eps), eps)
+	t, err := ix.eng.Tree(ix.ctx, nil)
+	if err != nil {
+		return Clustering{}, err
+	}
+	core, err := ix.dbscanResult(minPts, eps)
+	if err != nil {
+		return Clustering{}, err
+	}
+	res := dbscan.AttachBorders(t, core, eps)
 	return Clustering{Labels: res.Labels, NumClusters: res.NumClusters}, nil
 }
 
@@ -235,9 +283,12 @@ func (ix *Index) dbscanStar(minPts int, eps float64) (Clustering, bool, error) {
 // tree. Core flags come from range counts — the definition every DBSCAN
 // entry point has always used — not from the sqrt'd memoized core
 // distances, whose double rounding could flip boundary-eps cases.
-func (ix *Index) dbscanResult(minPts int, eps float64) dbscan.Result {
-	t := ix.eng.Tree(nil)
-	return dbscan.StarWithCore(t, dbscan.CoreByRangeCount(t, minPts, eps), eps)
+func (ix *Index) dbscanResult(minPts int, eps float64) (dbscan.Result, error) {
+	t, err := ix.eng.Tree(ix.ctx, nil)
+	if err != nil {
+		return dbscan.Result{}, err
+	}
+	return dbscan.StarWithCore(t, dbscan.CoreByRangeCount(t, minPts, eps), eps), nil
 }
 
 // OPTICS computes the classic sequential OPTICS ordering at (minPts, eps)
@@ -252,8 +303,14 @@ func (ix *Index) OPTICS(minPts int, eps float64) ([]OPTICSEntry, error) {
 	if ix.N() == 0 {
 		return nil, nil
 	}
-	t := ix.eng.Tree(nil)
-	cd := ix.eng.CoreDist(minPts, nil)
+	t, err := ix.eng.Tree(ix.ctx, nil)
+	if err != nil {
+		return nil, err
+	}
+	cd, err := ix.eng.CoreDist(ix.ctx, minPts, nil)
+	if err != nil {
+		return nil, err
+	}
 	return optics.RunOnTree(t, cd, eps, false), nil
 }
 
@@ -267,7 +324,11 @@ func (ix *Index) KNN(q int32, k int) ([]Neighbor, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("parclust: k must be >= 1, got %d", k)
 	}
-	return ix.eng.Tree(nil).KNN(q, k), nil
+	t, err := ix.eng.Tree(ix.ctx, nil)
+	if err != nil {
+		return nil, err
+	}
+	return t.KNN(q, k), nil
 }
 
 // RangeQuery returns the original ids of all indexed points within
@@ -280,7 +341,11 @@ func (ix *Index) RangeQuery(q int32, r float64) ([]int32, error) {
 	if r < 0 || math.IsNaN(r) {
 		return nil, fmt.Errorf("parclust: invalid radius %v", r)
 	}
-	return ix.eng.Tree(nil).RangeQuery(q, r), nil
+	t, err := ix.eng.Tree(ix.ctx, nil)
+	if err != nil {
+		return nil, err
+	}
+	return t.RangeQuery(q, r), nil
 }
 
 // RangeCount returns the number of indexed points within tree-metric
@@ -292,7 +357,11 @@ func (ix *Index) RangeCount(q int32, r float64) (int, error) {
 	if r < 0 || math.IsNaN(r) {
 		return 0, fmt.Errorf("parclust: invalid radius %v", r)
 	}
-	return ix.eng.Tree(nil).RangeCount(q, r), nil
+	t, err := ix.eng.Tree(ix.ctx, nil)
+	if err != nil {
+		return 0, err
+	}
+	return t.RangeCount(q, r), nil
 }
 
 // CoreDistances returns the memoized per-point core distances for minPts
@@ -306,7 +375,7 @@ func (ix *Index) CoreDistances(minPts int) ([]float64, error) {
 	if n := ix.N(); minPts > n && n > 0 {
 		return nil, fmt.Errorf("parclust: minPts=%d exceeds number of points %d", minPts, n)
 	}
-	return ix.eng.CoreDist(minPts, nil), nil
+	return ix.eng.CoreDist(ix.ctx, minPts, nil)
 }
 
 func allNoise(n int) Clustering {

@@ -1,0 +1,82 @@
+package parclust
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestIndexWithContextCancelled pins the public cancellation contract: a
+// handle carrying an already-cancelled context refuses to start cold stage
+// builds (returning the ctx error with zero builds recorded), while the
+// parent Index and warm reads through the cancelled handle keep working.
+func TestIndexWithContextCancelled(t *testing.T) {
+	idx, err := NewIndex(GenerateVarden(1000, 2, 31), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dead := idx.WithContext(ctx)
+
+	if _, err := dead.HDBSCAN(5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cold HDBSCAN on cancelled handle: %v, want context.Canceled", err)
+	}
+	if _, err := dead.EMST(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cold EMST on cancelled handle: %v, want context.Canceled", err)
+	}
+	if s := idx.Stats(); s.TreeBuilds != 0 {
+		t.Fatalf("TreeBuilds = %d, want 0 (cancelled handle must not build)", s.TreeBuilds)
+	}
+
+	// The parent handle is unaffected and builds normally.
+	h, err := idx.HDBSCAN(5)
+	if err != nil || h == nil {
+		t.Fatalf("parent HDBSCAN after cancelled handle: (%v, %v)", h, err)
+	}
+	// Memoized reads through the cancelled handle still succeed: the
+	// context bounds builds, not cache hits.
+	h2, err := dead.HDBSCAN(5)
+	if err != nil || h2 == nil {
+		t.Fatalf("warm HDBSCAN on cancelled handle: (%v, %v)", h2, err)
+	}
+	labels, labels2 := h.ClustersAt(0.5).Labels, h2.ClustersAt(0.5).Labels
+	for i := range labels {
+		if labels[i] != labels2[i] {
+			t.Fatalf("label %d diverges between parent and cancelled warm handle", i)
+		}
+	}
+}
+
+// TestIndexBuildGate pins the public admission contract: a closed gate
+// sheds cold builds with ErrOverloaded, warm reads bypass it, and an open
+// gate's release runs once per admitted flight.
+func TestIndexBuildGate(t *testing.T) {
+	idx, err := NewIndex(GenerateVarden(500, 2, 32), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.EMST(); err != nil { // warm the tree + one MST
+		t.Fatal(err)
+	}
+
+	idx.SetBuildGate(func() (func(), bool) { return nil, false })
+	if _, err := idx.HDBSCAN(5); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("cold HDBSCAN under closed gate: %v, want ErrOverloaded", err)
+	}
+	if _, err := idx.EMST(); err != nil {
+		t.Fatalf("warm EMST under closed gate: %v, want memoized hit", err)
+	}
+
+	var admitted, released int
+	idx.SetBuildGate(func() (func(), bool) {
+		admitted++
+		return func() { released++ }, true
+	})
+	if _, err := idx.HDBSCAN(5); err != nil {
+		t.Fatalf("cold HDBSCAN under open gate: %v", err)
+	}
+	if admitted == 0 || admitted != released {
+		t.Fatalf("gate admitted=%d released=%d, want equal and nonzero", admitted, released)
+	}
+}

@@ -1,0 +1,54 @@
+// Package abort provides a cheap cooperative-cancellation primitive for
+// the long-running stage builds in the clustering pipeline.
+//
+// A context.Context is the right interface at the API boundary, but the
+// hot loops inside a kd-tree build or a Borůvka round cannot afford a
+// channel select — or even a ctx.Err() call — per node. A Flag is a
+// single atomic bool: setting it is the rare path (a client disconnected,
+// all singleflight waiters gave up), and polling it from a worker is one
+// relaxed-ish atomic load.
+//
+// Cancellation unwinds by panicking with the Signal sentinel rather than
+// threading error returns through every recursive traversal. This is safe
+// through internal/parallel: the scheduler re-raises the first panic value
+// verbatim at Sync, so the sentinel crosses fork-join boundaries intact
+// and is recovered exactly once, at the build leader in internal/engine.
+package abort
+
+import "sync/atomic"
+
+// Flag is a set-once cancellation flag shared between a build leader and
+// whoever decides the build is no longer wanted. The zero value is usable.
+// All methods are safe on a nil *Flag, which behaves as "never aborted" —
+// one-shot callers pass nil and pay a single branch per checkpoint.
+type Flag struct {
+	v atomic.Bool
+}
+
+// Signal is the panic value raised by Check on an aborted flag. It is
+// recovered at the stage-build boundary in internal/engine and translated
+// into an error; any other panic value is someone else's bug and is
+// re-wrapped, not swallowed.
+type Signal struct{}
+
+// Set marks the flag aborted. Idempotent, safe from any goroutine.
+func (f *Flag) Set() {
+	if f != nil {
+		f.v.Store(true)
+	}
+}
+
+// Aborted reports whether Set has been called.
+func (f *Flag) Aborted() bool {
+	return f != nil && f.v.Load()
+}
+
+// Check panics with Signal{} if the flag is set; otherwise it is a single
+// atomic load. Call it at loop/recursion checkpoints that are coarse
+// enough to amortize the load but fine enough to bound abort latency
+// (per tree node, per Borůvka round, per parallel chunk).
+func (f *Flag) Check() {
+	if f != nil && f.v.Load() {
+		panic(Signal{})
+	}
+}

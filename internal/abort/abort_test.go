@@ -1,0 +1,45 @@
+package abort
+
+import "testing"
+
+func TestNilFlagIsInert(t *testing.T) {
+	var f *Flag
+	f.Set() // must not panic
+	if f.Aborted() {
+		t.Fatal("nil flag reports aborted")
+	}
+	f.Check() // must not panic
+}
+
+func TestZeroValueNotAborted(t *testing.T) {
+	var f Flag
+	if f.Aborted() {
+		t.Fatal("zero flag reports aborted")
+	}
+	f.Check()
+}
+
+func TestSetThenCheckPanicsWithSignal(t *testing.T) {
+	var f Flag
+	f.Set()
+	if !f.Aborted() {
+		t.Fatal("Set did not mark the flag")
+	}
+	defer func() {
+		r := recover()
+		if _, ok := r.(Signal); !ok {
+			t.Fatalf("Check panicked with %v (%T), want Signal", r, r)
+		}
+	}()
+	f.Check()
+	t.Fatal("Check returned on an aborted flag")
+}
+
+func TestSetIsIdempotent(t *testing.T) {
+	var f Flag
+	f.Set()
+	f.Set()
+	if !f.Aborted() {
+		t.Fatal("flag lost after double Set")
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"parclust"
 	"parclust/internal/dataio"
@@ -76,6 +77,22 @@ type Config struct {
 	// under byte pressure, so its memoized stages survive the eviction.
 	// Requires DataDir.
 	Spill bool
+	// QueryTimeout bounds one dataset query (including any cold stage
+	// builds it triggers); an expired query answers 504. <= 0 disables.
+	QueryTimeout time.Duration
+	// RateQPS enables the per-tenant token-bucket rate limiter: each tenant
+	// (X-Tenant header, else the remote host) gets RateQPS requests/second
+	// with bursts of RateBurst (<= 0: ceil(RateQPS)). Excess requests
+	// answer 429 with Retry-After. <= 0 disables.
+	RateQPS   float64
+	RateBurst int
+	// MaxColdBuilds bounds concurrently-admitted cold stage builds across
+	// all datasets; excess cold builds answer 503 with Retry-After while
+	// warm (memoized) queries keep answering. <= 0 disables.
+	MaxColdBuilds int
+	// TenantMaxBytes caps one tenant's total resident dataset bytes; an
+	// upload over quota answers 507 with Retry-After. <= 0 disables.
+	TenantMaxBytes int64
 }
 
 // Server hosts the dataset registry behind the HTTP handler tree.
@@ -92,14 +109,27 @@ type Server struct {
 	spills    atomic.Int64 // pressure evictions persisted to disk
 	loads     atomic.Int64 // snapshots reloaded into the registry
 	loadFails atomic.Int64 // snapshots that existed but failed to decode
+
+	// Overload protection (see robust.go). lim and buildSem are nil when
+	// their Config fields are unset.
+	lim      *limiter
+	buildSem chan struct{}
+
+	rateLimited   atomic.Int64 // requests shed by the rate limiter (429)
+	overloaded    atomic.Int64 // cold builds shed by the build gate (503)
+	timeouts      atomic.Int64 // queries past their deadline (504)
+	quotaRejected atomic.Int64 // uploads over a tenant byte quota (507)
 }
 
-// dataset is one registry entry: a named, immutable Index.
+// dataset is one registry entry: a named, immutable Index. tenant is the
+// uploader's identity for byte-quota accounting ("" for datasets loaded
+// from snapshots, which predate or outlive any one tenant's session).
 type dataset struct {
 	name   string
 	metric parclust.Metric
 	idx    *parclust.Index
 	bytes  int64
+	tenant string
 }
 
 // New returns a Server with an empty registry. When cfg.DataDir is set the
@@ -117,6 +147,12 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("daemon: Spill requires DataDir")
 	}
 	s := &Server{cfg: cfg, reg: registry.New[*dataset](cfg.MaxBytes, cfg.Shards)}
+	if cfg.RateQPS > 0 {
+		s.lim = newLimiter(cfg.RateQPS, cfg.RateBurst)
+	}
+	if cfg.MaxColdBuilds > 0 {
+		s.buildSem = make(chan struct{}, cfg.MaxColdBuilds)
+	}
 	if cfg.DataDir != "" {
 		st, err := store.OpenDir(cfg.DataDir)
 		if err != nil {
@@ -155,7 +191,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/datasets/{name}/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/broadcast/hdbscan", s.handleBroadcast)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return mux
+	return s.withRobustness(mux)
 }
 
 // ---------------------------------------------------------------- encoding
@@ -190,6 +226,8 @@ type countersJSON struct {
 	CutBuilds           int64 `json:"cut_builds"`
 	CutHits             int64 `json:"cut_hits"`
 	CoalescedTotal      int64 `json:"coalesced_total"`
+	BuildAborts         int64 `json:"build_aborts"`
+	BuildPanics         int64 `json:"build_panics"`
 }
 
 func toCountersJSON(c engine.Counters) countersJSON {
@@ -209,6 +247,8 @@ func toCountersJSON(c engine.Counters) countersJSON {
 		CutBuilds:           c.CutBuilds,
 		CutHits:             c.CutHits,
 		CoalescedTotal:      c.Coalesced(),
+		BuildAborts:         c.BuildAborts,
+		BuildPanics:         c.BuildPanics,
 	}
 }
 
@@ -434,11 +474,25 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	d := &dataset{name: name, metric: m, idx: idx, bytes: idx.ApproxBytes()}
+	s.installGate(idx)
+	d := &dataset{name: name, metric: m, idx: idx, bytes: idx.ApproxBytes(), tenant: tenantKey(r)}
+	if s.cfg.TenantMaxBytes > 0 {
+		if held := s.tenantBytes(d.tenant, name); held+d.bytes > s.cfg.TenantMaxBytes {
+			s.quotaRejected.Add(1)
+			setRetryAfter(w, time.Second)
+			writeError(w, http.StatusInsufficientStorage,
+				"tenant %q holds %d bytes; adding %d exceeds the %d-byte quota",
+				d.tenant, held, d.bytes, s.cfg.TenantMaxBytes)
+			return
+		}
+	}
 	if err := s.reg.Put(name, d, d.bytes); err != nil {
 		code := http.StatusInternalServerError
 		if errors.Is(err, registry.ErrTooLarge) || errors.Is(err, registry.ErrOverBudget) {
 			code = http.StatusInsufficientStorage
+			// Over-budget is transient — evictions or deletions free space —
+			// so tell the client when to come back.
+			setRetryAfter(w, time.Second)
 		}
 		writeError(w, code, "admit dataset: %v", err)
 		return
@@ -556,9 +610,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"registry": toRegistryJSON(s.reg.Stats()),
-		"datasets": perDataset,
-		"store":    s.storeStats(),
+		"registry":   toRegistryJSON(s.reg.Stats()),
+		"datasets":   perDataset,
+		"store":      s.storeStats(),
+		"robustness": s.robustStats(),
 	})
 }
 
@@ -633,9 +688,9 @@ func (s *Server) handleHDBSCAN(w http.ResponseWriter, r *http.Request) {
 	if ctxDone(r) {
 		return
 	}
-	hier, err := d.idx.HDBSCANWithAlgorithm(minPts, algo)
+	hier, err := d.idx.WithContext(r.Context()).HDBSCANWithAlgorithm(minPts, algo)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.queryError(w, r, err)
 		return
 	}
 	res := flatResult{Dataset: d.name, MinPts: minPts, Algo: algo.String()}
@@ -692,15 +747,16 @@ func (s *Server) handleDBSCAN(w http.ResponseWriter, r *http.Request) {
 	if ctxDone(r) {
 		return
 	}
+	idx := d.idx.WithContext(r.Context())
 	var c parclust.Clustering
 	var err error
 	if star {
-		c, err = d.idx.DBSCANStar(minPts, eps)
+		c, err = idx.DBSCANStar(minPts, eps)
 	} else {
-		c, err = d.idx.DBSCAN(minPts, eps)
+		c, err = idx.DBSCAN(minPts, eps)
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.queryError(w, r, err)
 		return
 	}
 	res := flatResult{
@@ -768,9 +824,9 @@ func (s *Server) handleOPTICS(w http.ResponseWriter, r *http.Request) {
 	if ctxDone(r) {
 		return
 	}
-	entries, err := d.idx.OPTICS(minPts, eps)
+	entries, err := d.idx.WithContext(r.Context()).OPTICS(minPts, eps)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.queryError(w, r, err)
 		return
 	}
 	res := opticsResult{Dataset: d.name, MinPts: minPts}
@@ -826,9 +882,9 @@ func (s *Server) handleEMST(w http.ResponseWriter, r *http.Request) {
 	if ctxDone(r) {
 		return
 	}
-	edges, err := d.idx.EMSTWithAlgorithm(algo)
+	edges, err := d.idx.WithContext(r.Context()).EMSTWithAlgorithm(algo)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.queryError(w, r, err)
 		return
 	}
 	total := 0.0
@@ -878,9 +934,9 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	nbs, err := d.idx.KNN(q, k)
+	nbs, err := d.idx.WithContext(r.Context()).KNN(q, k)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.queryError(w, r, err)
 		return
 	}
 	out := make([]neighborJSON, len(nbs))
@@ -906,9 +962,9 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	ids, err := d.idx.RangeQuery(q, radius)
+	ids, err := d.idx.WithContext(r.Context()).RangeQuery(q, radius)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.queryError(w, r, err)
 		return
 	}
 	resp := map[string]any{
@@ -978,7 +1034,7 @@ func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request) {
 		defer h.Release()
 		d := h.Value()
 		results[i].N = d.idx.N()
-		hier, err := d.idx.HDBSCAN(minPts)
+		hier, err := d.idx.WithContext(ctx).HDBSCAN(minPts)
 		if err != nil {
 			results[i].Error = err.Error()
 			return

@@ -81,6 +81,7 @@ func (s *Server) loadSnapshot(name string) (*dataset, error) {
 		s.loadFails.Add(1)
 		return nil, err
 	}
+	s.installGate(idx)
 	s.loads.Add(1)
 	return &dataset{name: name, metric: det.Metric, idx: idx, bytes: idx.ApproxBytes()}, nil
 }

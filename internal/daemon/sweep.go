@@ -141,6 +141,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	idx := d.idx.WithContext(r.Context())
 	res := sweepResult{
 		Dataset:  d.name,
 		Algo:     algo.String(),
@@ -153,10 +154,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	row:
 		for _, mp := range req.MinPts {
-			hier, err := d.idx.HDBSCANWithAlgorithm(mp, algo)
+			hier, err := idx.HDBSCANWithAlgorithm(mp, algo)
 			if err != nil {
-				// Can't happen — the grid was validated above — but a
-				// truncated stream (no trailer) is the only honest answer.
+				// A cancelled/expired context or a shed cold build; the
+				// stream has committed its 200, so a truncated stream (no
+				// trailer) is the only honest answer.
 				return
 			}
 			for _, eps := range req.Eps {
@@ -184,9 +186,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			if ctxDone(r) {
 				return
 			}
-			hier, err := d.idx.HDBSCANWithAlgorithm(mp, algo)
+			hier, err := idx.HDBSCANWithAlgorithm(mp, algo)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, "%v", err)
+				s.queryError(w, r, err)
 				return
 			}
 			for _, eps := range req.Eps {

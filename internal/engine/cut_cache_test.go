@@ -11,7 +11,7 @@ import (
 func TestCutResultCache(t *testing.T) {
 	const n = 400
 	e := New(randPoints(n, 2, 3), metric.L2{})
-	st := e.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 5, nil)
+	st := testHier(e, KindHDBSCAN, uint8(hdbscan.MemoGFK), 5)
 
 	a := st.CutAt(1.5)
 	if c := e.Counters(); c.CutBuilds != 1 || c.CutHits != 0 {
@@ -42,7 +42,7 @@ func TestCutResultCache(t *testing.T) {
 
 	// A different radius is a miss; a different stage has its own cache.
 	st.CutAt(2.5)
-	st2 := e.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 7, nil)
+	st2 := testHier(e, KindHDBSCAN, uint8(hdbscan.MemoGFK), 7)
 	st2.CutAt(1.5)
 	if c := e.Counters(); c.CutBuilds != 3 || c.CutHits != 1 {
 		t.Fatalf("after new radius + new stage: builds=%d hits=%d, want 3/1", c.CutBuilds, c.CutHits)
@@ -64,7 +64,7 @@ func TestCutResultCache(t *testing.T) {
 func TestCutResultCacheFIFOBound(t *testing.T) {
 	const n = 200
 	e := New(randPoints(n, 2, 9), metric.L2{})
-	st := e.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 4, nil)
+	st := testHier(e, KindHDBSCAN, uint8(hdbscan.MemoGFK), 4)
 
 	// Overfill the cache; the per-cut charge is constant (every result
 	// holds n labels), so the byte ceiling is maxCutResults cuts.

@@ -25,15 +25,43 @@
 // annotation fields). Per-round MST buffers come from a process-wide
 // sync.Pool of mst.Workspace, never from engine state, so a run leaves no
 // mutable scratch behind on the engine.
+//
+// # Cancellation and failure
+//
+// Every stage entry takes a context. Concurrent requests for one unbuilt
+// stage coalesce into a single flight whose leader runs the build; the
+// flight counts its interested waiters, and each waiter whose context ends
+// abandons the flight individually. Only when the last waiter abandons is
+// the build's abort flag set — the leader's build then unwinds at its next
+// cooperative checkpoint (kd-tree node, Borůvka round, WSPD traversal) via
+// a panic-sentinel recovered at the flight boundary, publishing nothing.
+// The contract on failure paths:
+//
+//   - An aborted or panicking build never poisons the memo: no partial
+//     stage is published, and the next request starts a clean flight.
+//   - All parked followers are woken with the flight's error — ErrAborted,
+//     ErrOverloaded, or a *BuildPanicError carrying the stage name. A
+//     follower that is still live after ErrAborted retries as the new
+//     leader rather than failing the caller.
+//   - A caller's own context expiry is reported as that context's error
+//     (context.Canceled / DeadlineExceeded), never as ErrAborted.
+//   - An optional BuildGate bounds cold builds: it is consulted once per
+//     flight, by the leader only, so memoized reads and coalesced
+//     followers never consume build capacity.
 package engine
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 
+	"parclust/internal/abort"
 	"parclust/internal/delaunay"
 	"parclust/internal/dendrogram"
+	"parclust/internal/faultinject"
 	"parclust/internal/geometry"
 	"parclust/internal/hdbscan"
 	"parclust/internal/kdtree"
@@ -41,6 +69,38 @@ import (
 	"parclust/internal/mst"
 	"parclust/internal/wspd"
 )
+
+// ErrAborted is returned by a stage entry whose build was cooperatively
+// cancelled: every request interested in the flight abandoned it (each on
+// its own context), so the leader unwound at the next checkpoint and
+// published nothing. A caller whose own context is still live never sees
+// ErrAborted — it retries the flight as the new leader.
+var ErrAborted = errors.New("engine: stage build aborted")
+
+// ErrOverloaded is returned by a stage entry that needed a cold build while
+// the engine's BuildGate was saturated. Nothing was built or published;
+// warm (memoized) reads never consult the gate.
+var ErrOverloaded = errors.New("engine: cold build rejected, build capacity saturated")
+
+// BuildPanicError wraps a panic that escaped a stage build. The panic is
+// recovered at the flight boundary so every parked follower is woken with
+// this error and the memo map stays unpoisoned; the next identical query
+// starts a fresh build.
+type BuildPanicError struct {
+	Stage string // "tree", "core", "mst", or "hier"
+	Value any    // the recovered panic value
+}
+
+func (e *BuildPanicError) Error() string {
+	return fmt.Sprintf("engine: %s stage build panicked: %v", e.Stage, e.Value)
+}
+
+// BuildGate admits one cold stage build: it returns (release, true) to
+// admit — release must be called when the build finishes — or (nil, false)
+// to reject, surfacing as ErrOverloaded. The gate is consulted only by
+// singleflight leaders, so coalesced followers of an admitted build never
+// consume extra capacity.
+type BuildGate func() (release func(), ok bool)
 
 // EMSTAlgo selects the EMST variant; values mirror the public
 // parclust.EMSTAlgorithm constants.
@@ -216,7 +276,25 @@ type Engine struct {
 	// cutBytes is the resident size of all stages' cut-result caches.
 	cutBytes atomic.Int64
 
+	// gate, when set, admits cold stage builds (see BuildGate).
+	gate atomic.Value // of BuildGate
+
 	c counters
+}
+
+// SetBuildGate installs the engine's cold-build admission gate. Safe to
+// call concurrently with queries; a nil-func store is rejected.
+func (e *Engine) SetBuildGate(g BuildGate) {
+	if g != nil {
+		e.gate.Store(g)
+	}
+}
+
+func (e *Engine) buildGate() BuildGate {
+	if g, ok := e.gate.Load().(BuildGate); ok {
+		return g
+	}
+	return nil
 }
 
 // New returns an engine over the prepared points. The caller has already
@@ -250,10 +328,19 @@ type sfKey struct {
 	minPts int
 }
 
-// flight is one in-flight stage computation; done is closed after the
-// leader has published the stage output.
+// flight is one in-flight stage computation. done is closed (after err is
+// set) once the leader has published the stage output or failed; waiters
+// counts the requests still interested in the result — the leader's own
+// share plus every parked follower. A request that abandons the flight on
+// its own context decrements waiters, and whoever drops the count to zero
+// sets the abort flag: the leader unwinds at its next checkpoint, because
+// nobody is left to consume the result.
 type flight struct {
-	done chan struct{}
+	done    chan struct{}
+	stop    chan struct{} // closed when the leader concludes; parks the ctx watcher
+	err     error         // write-once before close(done)
+	waiters atomic.Int64
+	abort   abort.Flag
 }
 
 // TestBuildHook, when non-nil, is invoked by a singleflight leader (with the
@@ -280,60 +367,143 @@ func sfStageName(stage uint8) string {
 // coalesce runs build under singleflight semantics for key: the first
 // caller becomes the leader and executes build (which publishes the stage
 // output to the memo registry); callers that arrive while the leader is
-// still running increment coalesced and park until the leader finishes.
-// On return the stage output for key is published.
-func (e *Engine) coalesce(key sfKey, coalesced *atomic.Int64, build func()) {
-	e.sfMu.Lock()
-	if f, ok := e.inflight[key]; ok {
-		e.sfMu.Unlock()
-		coalesced.Add(1)
-		<-f.done
-		return
+// still running increment coalesced and park until the leader finishes —
+// or until their own ctx is done, in which case they abandon the flight.
+// When every interested request is gone the flight's abort flag is set and
+// the leader unwinds at its next cancellation checkpoint.
+//
+// On a nil return the stage output for key is published. Errors: ctx.Err()
+// when this request gave up; ErrOverloaded when the BuildGate rejected the
+// cold build; *BuildPanicError when the build panicked (the flight is
+// cleared and every follower is woken — the memo map is never poisoned).
+// ErrAborted is only ever surfaced to requests whose own ctx is done
+// concurrently with the abort; a live follower that finds its flight
+// aborted retries as the new leader.
+func (e *Engine) coalesce(ctx context.Context, key sfKey, coalesced *atomic.Int64, build func(af *abort.Flag)) error {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	f := &flight{done: make(chan struct{})}
-	e.inflight[key] = f
-	e.sfMu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		e.sfMu.Lock()
+		if f, ok := e.inflight[key]; ok {
+			f.waiters.Add(1)
+			e.sfMu.Unlock()
+			coalesced.Add(1)
+			select {
+			case <-f.done:
+				if errors.Is(f.err, ErrAborted) && ctx.Err() == nil {
+					// The abort raced this follower's arrival: everyone else
+					// left, but this request is still live. Try again as the
+					// new leader.
+					continue
+				}
+				return f.err
+			case <-ctx.Done():
+				if f.waiters.Add(-1) == 0 {
+					f.abort.Set()
+				}
+				return ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{}), stop: make(chan struct{})}
+		f.waiters.Store(1) // the leader's own share
+		e.inflight[key] = f
+		e.sfMu.Unlock()
+		return e.lead(ctx, key, f, build)
+	}
+}
+
+// lead executes one flight as its leader: it watches ctx to release the
+// leader's waiter share, recovers aborts and panics into errors, and — in
+// every path — clears the flight and wakes all followers.
+func (e *Engine) lead(ctx context.Context, key sfKey, f *flight, build func(af *abort.Flag)) (err error) {
+	if done := ctx.Done(); done != nil {
+		go func() {
+			select {
+			case <-done:
+				if f.waiters.Add(-1) == 0 {
+					f.abort.Set()
+				}
+			case <-f.stop:
+			}
+		}()
+	}
 	defer func() {
+		close(f.stop)
+		if r := recover(); r != nil {
+			if _, ok := r.(abort.Signal); ok {
+				err = ErrAborted
+				e.c.buildAborts.Add(1)
+			} else {
+				err = &BuildPanicError{Stage: sfStageName(key.stage), Value: r}
+				e.c.buildPanics.Add(1)
+			}
+		}
+		f.err = err
 		e.sfMu.Lock()
 		delete(e.inflight, key)
 		e.sfMu.Unlock()
 		close(f.done)
+		if errors.Is(err, ErrAborted) && ctx.Err() != nil {
+			// The leader itself abandoned too; report its own ctx error so
+			// callers see a deadline/cancellation, not the internal sentinel.
+			err = ctx.Err()
+		}
 	}()
+	if gate := e.buildGate(); gate != nil {
+		release, ok := gate()
+		if !ok {
+			return ErrOverloaded
+		}
+		defer release()
+	}
 	if hook := TestBuildHook; hook != nil {
 		hook(sfStageName(key.stage))
 	}
-	build()
+	if ferr := faultinject.Check("engine.build"); ferr != nil {
+		return ferr
+	}
+	build(&f.abort)
+	return nil
 }
 
 // N returns the number of indexed points.
 func (e *Engine) N() int { return e.Pts.N }
 
 // Tree returns the shared k-d tree, building it on first use. stats (which
-// may be nil) receives the "build-tree" phase time on a miss.
-func (e *Engine) Tree(stats *mst.Stats) *kdtree.Tree {
+// may be nil) receives the "build-tree" phase time on a miss. ctx (nil
+// means background) bounds a cold build: see coalesce for the error
+// contract. Memoized reads never fail.
+func (e *Engine) Tree(ctx context.Context, stats *mst.Stats) (*kdtree.Tree, error) {
 	e.regMu.RLock()
 	t := e.tree
 	e.regMu.RUnlock()
 	if t != nil {
 		e.c.treeHits.Add(1)
-		return t
+		return t, nil
 	}
-	e.coalesce(sfKey{stage: sfTree}, &e.c.treeCoalesced, func() {
+	err := e.coalesce(ctx, sfKey{stage: sfTree}, &e.c.treeCoalesced, func(af *abort.Flag) {
 		e.buildMu.Lock()
 		defer e.buildMu.Unlock()
-		e.treeLocked(stats)
+		e.treeLocked(af, stats)
 	})
+	if err != nil {
+		return nil, err
+	}
 	e.regMu.RLock()
 	t = e.tree
 	e.regMu.RUnlock()
-	return t
+	return t, nil
 }
 
 // treeLocked is the build-mutex-held stage body. The *Locked internals
 // never count cache hits — hits are recorded only at the public entry
 // points, so the counters mean "public queries served from a memoized
 // stage output", not internal plumbing lookups.
-func (e *Engine) treeLocked(stats *mst.Stats) *kdtree.Tree {
+func (e *Engine) treeLocked(af *abort.Flag, stats *mst.Stats) *kdtree.Tree {
 	e.regMu.RLock()
 	t := e.tree
 	e.regMu.RUnlock()
@@ -343,7 +513,7 @@ func (e *Engine) treeLocked(stats *mst.Stats) *kdtree.Tree {
 	stats.Time("build-tree", func() {
 		// Leaf size 1 is required by the WSPD construction and serves every
 		// other stage and query.
-		t = kdtree.BuildMetric(e.Pts, 1, e.Kern)
+		t = kdtree.BuildMetricCancel(e.Pts, 1, e.Kern, af)
 	})
 	e.c.treeBuilds.Add(1)
 	e.regMu.Lock()
@@ -354,36 +524,39 @@ func (e *Engine) treeLocked(stats *mst.Stats) *kdtree.Tree {
 
 // CoreDist returns the core distances for minPts in original-id order,
 // computing (and memoizing) them on first use. The returned slice is shared
-// and must not be mutated.
-func (e *Engine) CoreDist(minPts int, stats *mst.Stats) []float64 {
+// and must not be mutated. ctx bounds a cold build (see coalesce).
+func (e *Engine) CoreDist(ctx context.Context, minPts int, stats *mst.Stats) ([]float64, error) {
 	e.regMu.RLock()
 	cd, ok := e.cores[minPts]
 	e.regMu.RUnlock()
 	if ok {
 		e.c.coreHits.Add(1)
-		return cd
+		return cd, nil
 	}
-	e.coalesce(sfKey{stage: sfCore, minPts: minPts}, &e.c.coreCoalesced, func() {
+	err := e.coalesce(ctx, sfKey{stage: sfCore, minPts: minPts}, &e.c.coreCoalesced, func(af *abort.Flag) {
 		e.buildMu.Lock()
 		defer e.buildMu.Unlock()
-		e.coreDistLocked(minPts, stats)
+		e.coreDistLocked(af, minPts, stats)
 	})
+	if err != nil {
+		return nil, err
+	}
 	e.regMu.RLock()
 	cd = e.cores[minPts]
 	e.regMu.RUnlock()
-	return cd
+	return cd, nil
 }
 
-func (e *Engine) coreDistLocked(minPts int, stats *mst.Stats) []float64 {
+func (e *Engine) coreDistLocked(af *abort.Flag, minPts int, stats *mst.Stats) []float64 {
 	e.regMu.RLock()
 	cd, ok := e.cores[minPts]
 	e.regMu.RUnlock()
 	if ok {
 		return cd
 	}
-	t := e.treeLocked(stats)
+	t := e.treeLocked(af, stats)
 	stats.Time("core-dist", func() {
-		cd = t.CoreDistances(minPts)
+		cd = t.CoreDistancesCancel(minPts, af)
 	})
 	e.c.coreBuilds.Add(1)
 	e.regMu.Lock()
@@ -393,12 +566,16 @@ func (e *Engine) coreDistLocked(minPts int, stats *mst.Stats) []float64 {
 }
 
 // annotateLocked installs minPts's core-distance annotations on the shared
-// tree if they are not already in place (buildMu held).
-func (e *Engine) annotateLocked(minPts int, cd []float64, stats *mst.Stats) {
+// tree if they are not already in place (buildMu held). annotated is
+// cleared before the rewrite starts so an abort or panic that unwinds
+// mid-annotation can never leave a stale minPts claiming half-written
+// bounds — the next build under buildMu re-annotates from scratch.
+func (e *Engine) annotateLocked(af *abort.Flag, minPts int, cd []float64, stats *mst.Stats) {
 	if e.annotated == minPts {
 		return
 	}
-	t := e.treeLocked(stats)
+	t := e.treeLocked(af, stats)
+	e.annotated = 0
 	stats.Time("core-dist", func() {
 		t.AnnotateCoreDists(cd)
 	})
@@ -422,26 +599,30 @@ func (e *Engine) storeMST(key mstKey, edges []mst.Edge) {
 // EMST returns the memoized MST of the point set under the engine's kernel
 // with the selected algorithm. Delaunay preconditions (2D, L2) are the
 // caller's responsibility. An input of fewer than two points yields nil
-// without building anything (the one-shot API contract).
-func (e *Engine) EMST(algo EMSTAlgo, stats *mst.Stats) []mst.Edge {
+// without building anything (the one-shot API contract). ctx bounds a cold
+// build (see coalesce).
+func (e *Engine) EMST(ctx context.Context, algo EMSTAlgo, stats *mst.Stats) ([]mst.Edge, error) {
 	if e.Pts.N <= 1 {
-		return nil
+		return nil, nil
 	}
 	key := mstKey{Kind: KindEMST, Algo: uint8(algo)}
 	if edges, ok := e.lookupMST(key); ok {
 		e.c.mstHits.Add(1)
-		return edges
+		return edges, nil
 	}
-	e.coalesce(sfKey{stage: sfMST, kind: KindEMST, algo: uint8(algo)}, &e.c.mstCoalesced, func() {
+	err := e.coalesce(ctx, sfKey{stage: sfMST, kind: KindEMST, algo: uint8(algo)}, &e.c.mstCoalesced, func(af *abort.Flag) {
 		e.buildMu.Lock()
 		defer e.buildMu.Unlock()
-		e.emstLocked(key, algo, stats)
+		e.emstLocked(af, key, algo, stats)
 	})
+	if err != nil {
+		return nil, err
+	}
 	edges, _ := e.lookupMST(key)
-	return edges
+	return edges, nil
 }
 
-func (e *Engine) emstLocked(key mstKey, algo EMSTAlgo, stats *mst.Stats) []mst.Edge {
+func (e *Engine) emstLocked(af *abort.Flag, key mstKey, algo EMSTAlgo, stats *mst.Stats) []mst.Edge {
 	if e.Pts.N <= 1 {
 		return nil // nothing to span; matches the one-shot early return
 	}
@@ -450,19 +631,20 @@ func (e *Engine) emstLocked(key mstKey, algo EMSTAlgo, stats *mst.Stats) []mst.E
 	}
 	var edges []mst.Edge
 	if algo == EMSTDelaunay2D {
+		af.Check() // the Delaunay path has no interior checkpoints
 		edges = delaunay.EMST(e.Pts, stats)
 		e.storeMST(key, edges)
 		return edges
 	}
-	t := e.treeLocked(stats)
+	t := e.treeLocked(af, stats)
 	ws := wsPool.Get().(*mst.Workspace)
 	defer wsPool.Put(ws)
 	if algo == EMSTBoruvka {
-		edges = mst.BoruvkaWS(t, stats, ws)
+		edges = mst.BoruvkaCancelWS(t, stats, ws, af)
 		e.storeMST(key, edges)
 		return edges
 	}
-	cfg := mst.Config{Tree: t, Metric: edgeMetricFor(t), Sep: separationFor(e.Kern), Stats: stats, WS: ws}
+	cfg := mst.Config{Tree: t, Metric: edgeMetricFor(t), Sep: separationFor(e.Kern), Stats: stats, WS: ws, Abort: af}
 	switch algo {
 	case EMSTMemoGFK:
 		edges = mst.MemoGFK(cfg)
@@ -482,8 +664,8 @@ func (e *Engine) emstLocked(key mstKey, algo EMSTAlgo, stats *mst.Stats) []mst.E
 // HDBSCANMST returns the memoized MST of the mutual-reachability graph for
 // minPts with the selected algorithm, together with the memoized core
 // distances. minPts has been validated by the caller (>= 1, <= N for
-// non-empty inputs).
-func (e *Engine) HDBSCANMST(minPts int, algo hdbscan.Algorithm, stats *mst.Stats) ([]mst.Edge, []float64) {
+// non-empty inputs). ctx bounds a cold build (see coalesce).
+func (e *Engine) HDBSCANMST(ctx context.Context, minPts int, algo hdbscan.Algorithm, stats *mst.Stats) ([]mst.Edge, []float64, error) {
 	key := mstKey{Kind: KindHDBSCAN, Algo: uint8(algo), MinPts: minPts}
 	if edges, ok := e.lookupMST(key); ok {
 		e.regMu.RLock()
@@ -491,31 +673,34 @@ func (e *Engine) HDBSCANMST(minPts int, algo hdbscan.Algorithm, stats *mst.Stats
 		e.regMu.RUnlock()
 		if cd != nil {
 			e.c.mstHits.Add(1)
-			return edges, cd
+			return edges, cd, nil
 		}
 	}
-	e.coalesce(sfKey{stage: sfMST, kind: KindHDBSCAN, algo: uint8(algo), minPts: minPts}, &e.c.mstCoalesced, func() {
+	err := e.coalesce(ctx, sfKey{stage: sfMST, kind: KindHDBSCAN, algo: uint8(algo), minPts: minPts}, &e.c.mstCoalesced, func(af *abort.Flag) {
 		e.buildMu.Lock()
 		defer e.buildMu.Unlock()
-		e.hdbscanMSTLocked(key, minPts, algo, stats)
+		e.hdbscanMSTLocked(af, key, minPts, algo, stats)
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	edges, _ := e.lookupMST(key)
 	e.regMu.RLock()
 	cd := e.cores[minPts]
 	e.regMu.RUnlock()
-	return edges, cd
+	return edges, cd, nil
 }
 
-func (e *Engine) hdbscanMSTLocked(key mstKey, minPts int, algo hdbscan.Algorithm, stats *mst.Stats) ([]mst.Edge, []float64) {
-	cd := e.coreDistLocked(minPts, stats)
+func (e *Engine) hdbscanMSTLocked(af *abort.Flag, key mstKey, minPts int, algo hdbscan.Algorithm, stats *mst.Stats) ([]mst.Edge, []float64) {
+	cd := e.coreDistLocked(af, minPts, stats)
 	if edges, ok := e.lookupMST(key); ok {
 		return edges, cd
 	}
-	t := e.treeLocked(stats)
-	e.annotateLocked(minPts, cd, stats)
+	t := e.treeLocked(af, stats)
+	e.annotateLocked(af, minPts, cd, stats)
 	ws := wsPool.Get().(*mst.Workspace)
 	defer wsPool.Put(ws)
-	edges := hdbscan.MSTOnAnnotatedTree(t, algo, e.Kern, ws, stats)
+	edges := hdbscan.MSTOnAnnotatedTreeCancel(t, algo, e.Kern, ws, stats, af)
 	e.storeMST(key, edges)
 	return edges, cd
 }
@@ -524,7 +709,7 @@ func (e *Engine) hdbscanMSTLocked(key mstKey, minPts int, algo hdbscan.Algorithm
 // (start vertex 0), and cut structure — for the given MST stage. For
 // KindEMST the algorithm is an EMSTAlgo and CoreDist is nil (single-linkage
 // semantics); for KindHDBSCAN it is an hdbscan.Algorithm.
-func (e *Engine) Hierarchy(kind Kind, algo uint8, minPts int, stats *mst.Stats) *HierStage {
+func (e *Engine) Hierarchy(ctx context.Context, kind Kind, algo uint8, minPts int, stats *mst.Stats) (*HierStage, error) {
 	key := mstKey{Kind: kind, Algo: algo, MinPts: minPts}
 	if kind == KindEMST {
 		key.MinPts = 0
@@ -534,21 +719,24 @@ func (e *Engine) Hierarchy(kind Kind, algo uint8, minPts int, stats *mst.Stats) 
 	e.regMu.RUnlock()
 	if st != nil {
 		e.c.hierHits.Add(1)
-		return st
+		return st, nil
 	}
-	e.coalesce(sfKey{stage: sfHier, kind: kind, algo: algo, minPts: key.MinPts}, &e.c.hierCoalesced, func() {
+	err := e.coalesce(ctx, sfKey{stage: sfHier, kind: kind, algo: algo, minPts: key.MinPts}, &e.c.hierCoalesced, func(af *abort.Flag) {
 		e.buildMu.Lock()
 		defer e.buildMu.Unlock()
-		e.hierarchyLocked(key, kind, algo, minPts, stats)
+		e.hierarchyLocked(af, key, kind, algo, minPts, stats)
 	})
+	if err != nil {
+		return nil, err
+	}
 	e.regMu.RLock()
 	st = e.hiers[key]
 	e.regMu.RUnlock()
-	return st
+	return st, nil
 }
 
 // hierarchyLocked is the build-mutex-held hierarchy stage body.
-func (e *Engine) hierarchyLocked(key mstKey, kind Kind, algo uint8, minPts int, stats *mst.Stats) *HierStage {
+func (e *Engine) hierarchyLocked(af *abort.Flag, key mstKey, kind Kind, algo uint8, minPts int, stats *mst.Stats) *HierStage {
 	e.regMu.RLock()
 	st := e.hiers[key]
 	e.regMu.RUnlock()
@@ -558,10 +746,11 @@ func (e *Engine) hierarchyLocked(key mstKey, kind Kind, algo uint8, minPts int, 
 	var edges []mst.Edge
 	var cd []float64
 	if kind == KindEMST {
-		edges = e.emstLocked(key, EMSTAlgo(algo), stats)
+		edges = e.emstLocked(af, key, EMSTAlgo(algo), stats)
 	} else {
-		edges, cd = e.hdbscanMSTLocked(key, minPts, hdbscan.Algorithm(algo), stats)
+		edges, cd = e.hdbscanMSTLocked(af, key, minPts, hdbscan.Algorithm(algo), stats)
 	}
+	af.Check() // last checkpoint before the (uncancellable) dendrogram build
 	st = &HierStage{N: e.Pts.N, MST: edges, CoreDist: cd, MinPts: minPts, eng: e}
 	if st.N > 0 {
 		stats.Time("dendrogram", func() {

@@ -25,7 +25,7 @@ func TestStageMemoizationCounters(t *testing.T) {
 	// Three minPts values, each queried twice; the tree must build once,
 	// core distances and MSTs once per minPts.
 	for _, minPts := range []int{3, 7, 12, 3, 7, 12} {
-		edges, cd := e.HDBSCANMST(minPts, hdbscan.MemoGFK, nil)
+		edges, cd := testHDB(e, minPts, hdbscan.MemoGFK)
 		if len(edges) != 499 || len(cd) != 500 {
 			t.Fatalf("minPts=%d: %d edges, %d core distances", minPts, len(edges), len(cd))
 		}
@@ -45,14 +45,14 @@ func TestStageMemoizationCounters(t *testing.T) {
 	}
 	// A different algorithm at a known minPts reuses tree and core
 	// distances but runs a new MST.
-	e.HDBSCANMST(3, hdbscan.GanTao, nil)
+	testHDB(e, 3, hdbscan.GanTao)
 	c = e.Counters()
 	if c.TreeBuilds != 1 || c.CoreDistBuilds != 3 || c.MSTBuilds != 4 {
 		t.Fatalf("after algo change: tree=%d core=%d mst=%d, want 1/3/4",
 			c.TreeBuilds, c.CoreDistBuilds, c.MSTBuilds)
 	}
 	// EMST shares the same tree.
-	if edges := e.EMST(EMSTMemoGFK, nil); len(edges) != 499 {
+	if edges := testEMST(e, EMSTMemoGFK); len(edges) != 499 {
 		t.Fatalf("EMST edges = %d", len(edges))
 	}
 	if c := e.Counters(); c.TreeBuilds != 1 || c.MSTBuilds != 5 {
@@ -62,8 +62,8 @@ func TestStageMemoizationCounters(t *testing.T) {
 
 func TestHierarchyStageSharedAcrossCalls(t *testing.T) {
 	e := New(randPoints(300, 2, 2), metric.L2{})
-	a := e.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 5, nil)
-	b := e.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 5, nil)
+	a := testHier(e, KindHDBSCAN, uint8(hdbscan.MemoGFK), 5)
+	b := testHier(e, KindHDBSCAN, uint8(hdbscan.MemoGFK), 5)
 	if a != b {
 		t.Fatal("equal queries returned distinct hierarchy stages")
 	}
@@ -75,7 +75,7 @@ func TestHierarchyStageSharedAcrossCalls(t *testing.T) {
 		t.Fatalf("dendrogram builds=%d hits=%d, want 1/1", c.DendrogramBuilds, c.DendrogramHits)
 	}
 	// Single-linkage is a distinct stage.
-	sl := e.Hierarchy(KindEMST, uint8(EMSTMemoGFK), 1, nil)
+	sl := testHier(e, KindEMST, uint8(EMSTMemoGFK), 1)
 	if sl == a || sl.CoreDist != nil {
 		t.Fatal("single-linkage stage must be distinct with nil core distances")
 	}
@@ -88,12 +88,12 @@ func TestMSTResultsMatchFreshEngine(t *testing.T) {
 	warm := New(pts, metric.L2{})
 	order := []int{9, 2, 9, 5, 2}
 	for _, mp := range order {
-		warm.HDBSCANMST(mp, hdbscan.MemoGFK, nil)
+		testHDB(warm, mp, hdbscan.MemoGFK)
 	}
 	for _, mp := range []int{2, 5, 9} {
 		fresh := New(pts, metric.L2{})
-		we, wcd := warm.HDBSCANMST(mp, hdbscan.MemoGFK, nil)
-		fe, fcd := fresh.HDBSCANMST(mp, hdbscan.MemoGFK, nil)
+		we, wcd := testHDB(warm, mp, hdbscan.MemoGFK)
+		fe, fcd := testHDB(fresh, mp, hdbscan.MemoGFK)
 		if len(we) != len(fe) {
 			t.Fatalf("minPts=%d: edge count differs", mp)
 		}
@@ -118,7 +118,7 @@ func TestConcurrentStageComputation(t *testing.T) {
 	want := map[int]float64{}
 	for _, mp := range []int{4, 8} {
 		fresh := New(pts, metric.L2{})
-		edges, _ := fresh.HDBSCANMST(mp, hdbscan.MemoGFK, nil)
+		edges, _ := testHDB(fresh, mp, hdbscan.MemoGFK)
 		want[mp] = mst.TotalWeight(edges)
 	}
 	var wg sync.WaitGroup
@@ -128,7 +128,7 @@ func TestConcurrentStageComputation(t *testing.T) {
 			defer wg.Done()
 			for it := 0; it < 6; it++ {
 				mp := []int{4, 8}[(g+it)%2]
-				edges, _ := e.HDBSCANMST(mp, hdbscan.MemoGFK, nil)
+				edges, _ := testHDB(e, mp, hdbscan.MemoGFK)
 				if got := mst.TotalWeight(edges); got != want[mp] {
 					t.Errorf("minPts=%d: weight %v, want %v", mp, got, want[mp])
 					return
@@ -147,7 +147,7 @@ func TestConcurrentStageComputation(t *testing.T) {
 func TestEMSTTrivialInputs(t *testing.T) {
 	for _, n := range []int{0, 1} {
 		e := New(randPoints(n, 2, 5), metric.L2{})
-		if edges := e.EMST(EMSTMemoGFK, nil); edges != nil {
+		if edges := testEMST(e, EMSTMemoGFK); edges != nil {
 			t.Fatalf("n=%d: EMST returned %d edges", n, len(edges))
 		}
 		if c := e.Counters(); c.TreeBuilds != 0 {

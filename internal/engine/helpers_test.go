@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"context"
+
+	"parclust/internal/hdbscan"
+	"parclust/internal/kdtree"
+	"parclust/internal/mst"
+)
+
+// Background-context, panic-on-error wrappers over the ctx-aware stage
+// entries for the happy-path tests, which predate cancellation and never
+// expect a build to fail.
+
+func testTree(e *Engine) *kdtree.Tree {
+	tr, err := e.Tree(context.Background(), nil)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+func testHier(e *Engine, kind Kind, algo uint8, minPts int) *HierStage {
+	st, err := e.Hierarchy(context.Background(), kind, algo, minPts, nil)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+func testHDB(e *Engine, minPts int, algo hdbscan.Algorithm) ([]mst.Edge, []float64) {
+	edges, cd, err := e.HDBSCANMST(context.Background(), minPts, algo, nil)
+	if err != nil {
+		panic(err)
+	}
+	return edges, cd
+}
+
+func testEMST(e *Engine, algo EMSTAlgo) []mst.Edge {
+	edges, err := e.EMST(context.Background(), algo, nil)
+	if err != nil {
+		panic(err)
+	}
+	return edges
+}

@@ -53,7 +53,7 @@ func TestSingleflightColdTreeBuild(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if e.Tree(nil) == nil {
+			if testTree(e) == nil {
 				t.Error("Tree returned nil")
 			}
 		}()
@@ -73,7 +73,7 @@ func TestSingleflightColdTreeBuild(t *testing.T) {
 		t.Fatalf("Coalesced() = %d, want %d", c.Coalesced(), clients-1)
 	}
 	// A warm request after the dust settles is a plain hit.
-	e.Tree(nil)
+	testTree(e)
 	if c := e.Counters(); c.TreeHits != 1 || c.TreeBuilds != 1 {
 		t.Fatalf("warm request: hits=%d builds=%d, want 1/1", c.TreeHits, c.TreeBuilds)
 	}
@@ -95,7 +95,7 @@ func TestSingleflightColdHierarchyQueries(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i] = e.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 10, nil)
+			results[i] = testHier(e, KindHDBSCAN, uint8(hdbscan.MemoGFK), 10)
 		}()
 	}
 	waitForCoalesced(t, release, func() int64 { return e.Counters().DendrogramCoalesced }, clients-1)

@@ -14,9 +14,9 @@ import (
 func TestExportSeedStagesZeroRebuilds(t *testing.T) {
 	pts := randPoints(500, 2, 11)
 	warm := New(pts, metric.L2{})
-	warm.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 5, nil)
-	warm.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 9, nil)
-	warm.Hierarchy(KindEMST, uint8(EMSTMemoGFK), 1, nil)
+	testHier(warm, KindHDBSCAN, uint8(hdbscan.MemoGFK), 5)
+	testHier(warm, KindHDBSCAN, uint8(hdbscan.MemoGFK), 9)
+	testHier(warm, KindEMST, uint8(EMSTMemoGFK), 1)
 
 	set := warm.ExportStages()
 	if set.Tree == nil || len(set.Cores) != 2 || len(set.MSTs) != 3 || len(set.Hiers) != 3 {
@@ -28,8 +28,8 @@ func TestExportSeedStagesZeroRebuilds(t *testing.T) {
 	cold.SeedStages(set)
 
 	for _, mp := range []int{5, 9} {
-		wSt := warm.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), mp, nil)
-		cSt := cold.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), mp, nil)
+		wSt := testHier(warm, KindHDBSCAN, uint8(hdbscan.MemoGFK), mp)
+		cSt := testHier(cold, KindHDBSCAN, uint8(hdbscan.MemoGFK), mp)
 		if len(wSt.MST) != len(cSt.MST) {
 			t.Fatalf("minPts=%d: MST length differs", mp)
 		}
@@ -53,7 +53,7 @@ func TestExportSeedStagesZeroRebuilds(t *testing.T) {
 			}
 		}
 	}
-	sl := cold.Hierarchy(KindEMST, uint8(EMSTMemoGFK), 1, nil)
+	sl := testHier(cold, KindEMST, uint8(EMSTMemoGFK), 1)
 	if sl.CoreDist != nil || sl.MinPts != 1 {
 		t.Fatal("seeded single-linkage stage must have nil core distances and minPts=1")
 	}
@@ -74,14 +74,14 @@ func TestExportSeedStagesZeroRebuilds(t *testing.T) {
 func TestSeedStagesPartial(t *testing.T) {
 	pts := randPoints(300, 2, 12)
 	warm := New(pts, metric.L2{})
-	warm.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 4, nil)
+	testHier(warm, KindHDBSCAN, uint8(hdbscan.MemoGFK), 4)
 	set := warm.ExportStages()
 
 	// Drop the MSTs: the dependent hierarchy must not be seeded either.
 	set.MSTs = nil
 	cold := New(pts, metric.L2{})
 	cold.SeedStages(set)
-	cold.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 4, nil)
+	testHier(cold, KindHDBSCAN, uint8(hdbscan.MemoGFK), 4)
 	c := cold.Counters()
 	if c.TreeBuilds != 0 || c.CoreDistBuilds != 0 {
 		t.Fatalf("seeded upstream stages rebuilt: tree=%d core=%d", c.TreeBuilds, c.CoreDistBuilds)
@@ -92,9 +92,9 @@ func TestSeedStagesPartial(t *testing.T) {
 
 	// Seeding into an engine that already built the same stage keeps the
 	// engine's copy.
-	st := cold.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 4, nil)
+	st := testHier(cold, KindHDBSCAN, uint8(hdbscan.MemoGFK), 4)
 	cold.SeedStages(warm.ExportStages())
-	if got := cold.Hierarchy(KindHDBSCAN, uint8(hdbscan.MemoGFK), 4, nil); got != st {
+	if got := testHier(cold, KindHDBSCAN, uint8(hdbscan.MemoGFK), 4); got != st {
 		t.Fatal("SeedStages replaced an already-published stage")
 	}
 }

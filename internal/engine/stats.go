@@ -19,6 +19,8 @@ type counters struct {
 	hierCoalesced atomic.Int64
 	cutBuilds     atomic.Int64
 	cutHits       atomic.Int64
+	buildAborts   atomic.Int64
+	buildPanics   atomic.Int64
 }
 
 // Counters is a point-in-time snapshot of an Engine's stage cache counters.
@@ -47,6 +49,11 @@ type Counters struct {
 	// O(1) from a stage's cut-result cache. Cuts have no Coalesced counter:
 	// a cut is cheap enough that concurrent cold requests just run it.
 	CutBuilds, CutHits int64
+	// BuildAborts counts stage builds cooperatively cancelled after every
+	// interested request abandoned the flight; BuildPanics counts builds
+	// that panicked (recovered at the flight boundary). Neither publishes a
+	// stage output, so they never appear in the Builds counters.
+	BuildAborts, BuildPanics int64
 }
 
 // Coalesced returns the total number of requests, across all stages, that
@@ -73,5 +80,7 @@ func (e *Engine) Counters() Counters {
 		DendrogramCoalesced: e.c.hierCoalesced.Load(),
 		CutBuilds:           e.c.cutBuilds.Load(),
 		CutHits:             e.c.cutHits.Load(),
+		BuildAborts:         e.c.buildAborts.Load(),
+		BuildPanics:         e.c.buildPanics.Load(),
 	}
 }

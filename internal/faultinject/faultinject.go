@@ -1,0 +1,124 @@
+// Package faultinject is a tiny runtime-armed fault-injection harness for
+// chaos tests. Production code sprinkles named failure points at the
+// boundaries that can realistically fail (snapshot writes, snapshot reads,
+// engine stage builds); tests arm a point with an error, a delay, or a
+// panic and assert the system degrades gracefully.
+//
+// The disarmed fast path is a single atomic load of a package counter —
+// no map lookup, no lock — so the hooks stay compiled into ordinary
+// builds (and therefore run under the tier-1 test suite and count toward
+// coverage) without costing anything in production.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects what an armed failure point does.
+type Mode int
+
+const (
+	// Error makes Check return Fault.Err.
+	Error Mode = iota
+	// Delay makes Check sleep Fault.Delay, then return nil.
+	Delay
+	// Panic makes Check panic with PanicValue{Point}.
+	Panic
+)
+
+// Fault describes one armed failure point.
+type Fault struct {
+	Mode  Mode
+	Err   error         // returned when Mode == Error
+	Delay time.Duration // slept when Mode == Delay
+	// Count limits how many times the fault fires; 0 means unlimited.
+	// After Count firings the point disarms itself.
+	Count int
+}
+
+// PanicValue is the value panicked by a Panic-mode fault, so tests can
+// tell an injected panic from a real one.
+type PanicValue struct{ Point string }
+
+func (p PanicValue) Error() string { return "faultinject: injected panic at " + p.Point }
+
+var (
+	armed atomic.Int64 // number of currently armed points; 0 ⇒ Check is a no-op
+	mu    sync.Mutex
+	table map[string]*entry
+)
+
+type entry struct {
+	f    Fault
+	left int // remaining firings when f.Count > 0
+}
+
+// Activate arms the named failure point. Re-activating an armed point
+// replaces its fault.
+func Activate(point string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if table == nil {
+		table = make(map[string]*entry)
+	}
+	if _, ok := table[point]; !ok {
+		armed.Add(1)
+	}
+	table[point] = &entry{f: f, left: f.Count}
+}
+
+// Deactivate disarms the named failure point. Disarming an unarmed point
+// is a no-op.
+func Deactivate(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := table[point]; ok {
+		delete(table, point)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every failure point. Tests defer this.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int64(len(table)))
+	table = nil
+}
+
+// Check fires the named failure point if armed: it returns the injected
+// error, sleeps the injected delay, or panics. When nothing is armed
+// anywhere in the process it is a single atomic load.
+func Check(point string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	e, ok := table[point]
+	if ok && e.f.Count > 0 {
+		e.left--
+		if e.left <= 0 {
+			delete(table, point)
+			armed.Add(-1)
+		}
+	}
+	mu.Unlock()
+	if !ok {
+		return nil
+	}
+	switch e.f.Mode {
+	case Delay:
+		time.Sleep(e.f.Delay)
+		return nil
+	case Panic:
+		panic(PanicValue{Point: point})
+	default:
+		if e.f.Err != nil {
+			return e.f.Err
+		}
+		return fmt.Errorf("faultinject: injected error at %s", point)
+	}
+}

@@ -1,0 +1,108 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	if err := Check("nope"); err != nil {
+		t.Fatalf("disarmed Check returned %v", err)
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("boom")
+	Activate("p", Fault{Mode: Error, Err: sentinel})
+	if err := Check("p"); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+	// Other points stay quiet while one is armed.
+	if err := Check("other"); err != nil {
+		t.Fatalf("unrelated point fired: %v", err)
+	}
+	Deactivate("p")
+	if err := Check("p"); err != nil {
+		t.Fatalf("deactivated point fired: %v", err)
+	}
+}
+
+func TestErrorModeDefaultErr(t *testing.T) {
+	defer Reset()
+	Activate("p", Fault{Mode: Error})
+	if err := Check("p"); err == nil {
+		t.Fatal("Error mode with nil Err returned nil")
+	}
+}
+
+func TestDelayMode(t *testing.T) {
+	defer Reset()
+	Activate("p", Fault{Mode: Delay, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Check("p"); err != nil {
+		t.Fatalf("delay mode returned error %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay mode slept only %v", d)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	defer Reset()
+	Activate("p", Fault{Mode: Panic})
+	defer func() {
+		r := recover()
+		pv, ok := r.(PanicValue)
+		if !ok || pv.Point != "p" {
+			t.Fatalf("recovered %v (%T), want PanicValue{p}", r, r)
+		}
+		if msg := pv.Error(); msg != "faultinject: injected panic at p" {
+			t.Fatalf("PanicValue message = %q", msg)
+		}
+	}()
+	Check("p")
+	t.Fatal("Check returned in panic mode")
+}
+
+func TestCountSelfDisarms(t *testing.T) {
+	defer Reset()
+	Activate("p", Fault{Mode: Error, Err: errors.New("x"), Count: 2})
+	if Check("p") == nil || Check("p") == nil {
+		t.Fatal("counted fault did not fire twice")
+	}
+	if err := Check("p"); err != nil {
+		t.Fatalf("counted fault fired a third time: %v", err)
+	}
+	// Fully disarmed again: fast path restored.
+	if armed.Load() != 0 {
+		t.Fatalf("armed counter = %d after self-disarm", armed.Load())
+	}
+}
+
+func TestResetClearsAll(t *testing.T) {
+	Activate("a", Fault{Mode: Error})
+	Activate("b", Fault{Mode: Error})
+	Reset()
+	if err := Check("a"); err != nil {
+		t.Fatalf("point fired after Reset: %v", err)
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed counter = %d after Reset", armed.Load())
+	}
+}
+
+func TestReactivateReplaces(t *testing.T) {
+	defer Reset()
+	e1, e2 := errors.New("one"), errors.New("two")
+	Activate("p", Fault{Mode: Error, Err: e1})
+	Activate("p", Fault{Mode: Error, Err: e2})
+	if err := Check("p"); !errors.Is(err, e2) {
+		t.Fatalf("got %v, want replacement fault", err)
+	}
+	Reset()
+	if armed.Load() != 0 {
+		t.Fatalf("armed counter = %d, double-counted reactivation", armed.Load())
+	}
+}

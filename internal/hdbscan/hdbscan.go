@@ -8,6 +8,7 @@
 package hdbscan
 
 import (
+	"parclust/internal/abort"
 	"parclust/internal/geometry"
 	"parclust/internal/kdtree"
 	"parclust/internal/metric"
@@ -73,6 +74,13 @@ func BuildMetric(pts geometry.Points, minPts int, algo Algorithm, m metric.Metri
 // only this stage when minPts changes. ws supplies reusable round buffers
 // (nil for a private workspace); stats may be nil.
 func MSTOnAnnotatedTree(t *kdtree.Tree, algo Algorithm, m metric.Metric, ws *mst.Workspace, stats *mst.Stats) []mst.Edge {
+	return MSTOnAnnotatedTreeCancel(t, algo, m, ws, stats, nil)
+}
+
+// MSTOnAnnotatedTreeCancel is MSTOnAnnotatedTree with a cooperative
+// cancellation flag threaded into the MST rounds and WSPD traversals
+// (see mst.Config.Abort). af may be nil.
+func MSTOnAnnotatedTreeCancel(t *kdtree.Tree, algo Algorithm, m metric.Metric, ws *mst.Workspace, stats *mst.Stats, af *abort.Flag) []mst.Edge {
 	// The edge metric runs in the tree's kd-order space (contiguous leaf
 	// scans); results are mapped back to original ids by the MST driver.
 	w := kdtree.NewMutualReachability(t)
@@ -84,11 +92,11 @@ func MSTOnAnnotatedTree(t *kdtree.Tree, algo Algorithm, m metric.Metric, ws *mst
 	}
 	switch algo {
 	case MemoGFK:
-		return mst.MemoGFK(mst.Config{Tree: t, Metric: w, Sep: disjunctive, Stats: stats, WS: ws})
+		return mst.MemoGFK(mst.Config{Tree: t, Metric: w, Sep: disjunctive, Stats: stats, WS: ws, Abort: af})
 	case GanTao:
-		return mst.MemoGFK(mst.Config{Tree: t, Metric: w, Sep: geometric, Stats: stats, WS: ws})
+		return mst.MemoGFK(mst.Config{Tree: t, Metric: w, Sep: geometric, Stats: stats, WS: ws, Abort: af})
 	case GanTaoFull:
-		return mst.GFK(mst.Config{Tree: t, Metric: w, Sep: geometric, Stats: stats, WS: ws})
+		return mst.GFK(mst.Config{Tree: t, Metric: w, Sep: geometric, Stats: stats, WS: ws, Abort: af})
 	default:
 		panic("hdbscan: unknown algorithm")
 	}

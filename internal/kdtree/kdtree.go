@@ -28,6 +28,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"parclust/internal/abort"
 	"parclust/internal/geometry"
 	"parclust/internal/metric"
 	"parclust/internal/parallel"
@@ -102,6 +103,10 @@ type Tree struct {
 
 	l2     bool // M is plain Euclidean: queries take the squared-distance fast paths
 	sqKern func(a, b []float64) float64
+
+	// af is the build-time cancellation flag (nil outside BuildMetricCancel);
+	// t.build polls it once per node.
+	af *abort.Flag
 }
 
 // buildGrain is the subproblem size below which build recursion is sequential.
@@ -116,6 +121,14 @@ func Build(pts geometry.Points, leafSize int) *Tree {
 
 // BuildMetric constructs the tree with queries running under metric m.
 func BuildMetric(pts geometry.Points, leafSize int, m metric.Metric) *Tree {
+	return BuildMetricCancel(pts, leafSize, m, nil)
+}
+
+// BuildMetricCancel is BuildMetric with a cooperative cancellation flag:
+// the build polls af once per tree node and unwinds by panicking with
+// abort.Signal{} when it is set (recovered at the stage-build boundary in
+// internal/engine). af may be nil, which costs one branch per node.
+func BuildMetricCancel(pts geometry.Points, leafSize int, m metric.Metric, af *abort.Flag) *Tree {
 	if leafSize < 1 {
 		leafSize = 1
 	}
@@ -143,7 +156,9 @@ func BuildMetric(pts geometry.Points, leafSize int, m metric.Metric) *Tree {
 		for i := range t.pos {
 			t.pos[i] = int32(i)
 		}
+		t.af = af
 		t.Root = &t.nodes[t.build(0, int32(n))]
+		t.af = nil
 		parallel.For(n, 4096, func(i int) {
 			t.Inv[t.Orig[i]] = int32(i)
 		})
@@ -200,6 +215,7 @@ func (t *Tree) newNode(lo, hi int32) int32 {
 }
 
 func (t *Tree) build(lo, hi int32) int32 {
+	t.af.Check()
 	idx := t.newNode(lo, hi)
 	n := &t.nodes[idx]
 	geometry.BoundingBoxRange(&n.Box, t.Pts, int(lo), int(hi))

@@ -3,6 +3,7 @@ package kdtree
 import (
 	"math"
 
+	"parclust/internal/abort"
 	"parclust/internal/geometry"
 	"parclust/internal/parallel"
 )
@@ -216,6 +217,13 @@ func (t *Tree) knnMetric(n *Node, qc []float64, h *knnHeap) {
 // gives all zeros. Query points stream through the kd-ordered rows, and
 // each worker chunk reuses one heap.
 func (t *Tree) CoreDistances(minPts int) []float64 {
+	return t.CoreDistancesCancel(minPts, nil)
+}
+
+// CoreDistancesCancel is CoreDistances with a cooperative cancellation
+// flag, polled once per 64-point worker chunk; on abort it unwinds with
+// abort.Signal{} (see BuildMetricCancel). af may be nil.
+func (t *Tree) CoreDistancesCancel(minPts int, af *abort.Flag) []float64 {
 	cd := make([]float64, t.Pts.N)
 	if minPts <= 1 {
 		return cd
@@ -223,6 +231,7 @@ func (t *Tree) CoreDistances(minPts int) []float64 {
 	dim := t.Pts.Dim
 	data := t.Pts.Data
 	parallel.ForRange(t.Pts.N, 64, func(lo, hi int) {
+		af.Check()
 		var h knnHeap
 		for p := lo; p < hi; p++ {
 			h.reset(minPts)

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parclust/internal/abort"
 	"parclust/internal/geometry"
 	"parclust/internal/kdtree"
 	"parclust/internal/parallel"
@@ -32,11 +33,19 @@ func Boruvka(t *kdtree.Tree, stats *Stats) []Edge {
 
 // BoruvkaWS is Boruvka running on a caller-owned reusable workspace.
 func BoruvkaWS(t *kdtree.Tree, stats *Stats, ws *Workspace) []Edge {
+	return BoruvkaCancelWS(t, stats, ws, nil)
+}
+
+// BoruvkaCancelWS is BoruvkaWS with a cooperative cancellation flag,
+// polled once per round and once per 32-point query chunk; on abort the
+// run unwinds with abort.Signal{}. af may be nil.
+func BoruvkaCancelWS(t *kdtree.Tree, stats *Stats, ws *Workspace, af *abort.Flag) []Edge {
 	n := t.Pts.N
 	if n <= 1 {
 		return nil
 	}
 	r := newBoruvkaRun(t, stats, ws)
+	r.af = af
 	for r.round() {
 	}
 	out := ws.finish(t.Orig)
@@ -52,6 +61,7 @@ type boruvkaRun struct {
 	ws    *Workspace
 	stats *Stats
 	l2    bool
+	af    *abort.Flag
 
 	queryBody  func(lo, hi int)
 	reduceBody func(lo, hi int)
@@ -64,6 +74,7 @@ func newBoruvkaRun(t *kdtree.Tree, stats *Stats, ws *Workspace) *boruvkaRun {
 	dim := t.Pts.Dim
 	data := t.Pts.Data
 	r.queryBody = func(lo, hi int) {
+		r.af.Check()
 		for i := lo; i < hi; i++ {
 			q := int32(i)
 			best := Edge{U: -1, V: -1, W: math.Inf(1)}
@@ -110,6 +121,7 @@ func (r *boruvkaRun) round() bool {
 	if ws.uf.Components() <= 1 {
 		return false
 	}
+	r.af.Check()
 	r.stats.AddRound()
 	n := r.t.Pts.N
 	start := time.Now()

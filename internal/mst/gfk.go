@@ -45,7 +45,7 @@ func GFK(cfg Config) []Edge {
 	}
 	var raw []wspd.Pair
 	cfg.Stats.Time("wspd", func() {
-		raw = wspd.Decompose(t, cfg.Sep)
+		raw = wspd.DecomposeCancel(t, cfg.Sep, cfg.Abort)
 	})
 	cfg.Stats.AddPairs(int64(len(raw)))
 	cfg.Stats.NotePeak(int64(len(raw)))
@@ -90,6 +90,7 @@ type gfkRun struct {
 func newGFKRun(cfg Config, ws *Workspace, s []gfkPair) *gfkRun {
 	r := &gfkRun{cfg: cfg, ws: ws, s: s}
 	r.bccpBody = func(lo, hi int) {
+		cfg.Abort.Check()
 		for i := lo; i < hi; i++ {
 			if r.s[i].res.U < 0 {
 				r.s[i].res = kdtree.BCCP(cfg.Tree, cfg.Metric, r.s[i].a, r.s[i].b)
@@ -105,6 +106,7 @@ func newGFKRun(cfg Config, ws *Workspace, s []gfkPair) *gfkRun {
 
 func (r *gfkRun) round(beta int) {
 	cfg, ws := r.cfg, r.ws
+	cfg.Abort.Check()
 	cfg.Stats.AddRound()
 
 	// Line 4: stable partition by cardinality — small pairs stay in the

@@ -38,6 +38,7 @@ func MemoGFK(cfg Config) []Edge {
 		if round >= roundCap(cfg, n) {
 			panic(fmt.Sprintf("mst: MemoGFK exceeded %d rounds (n=%d, |out|=%d)", maxRounds, n, len(ws.out)))
 		}
+		cfg.Abort.Check()
 		cfg.Stats.AddRound()
 		t.RefreshComponentsInto(ws.uf, ws.comp)
 
@@ -99,6 +100,7 @@ func getRhoNode(cfg Config, a *kdtree.Node, beta int, rho *parallel.AtomicMinFlo
 	}
 	al, ar := cfg.Tree.LeftOf(a), cfg.Tree.RightOf(a)
 	if a.Size() > spawnSize {
+		cfg.Abort.Check()
 		// Subtree traversals become stealable tasks; the split pair stays
 		// on the current worker (work-first).
 		var g parallel.Group
@@ -136,6 +138,7 @@ func getRhoPair(cfg Config, p, q *kdtree.Node, beta int, rho *parallel.AtomicMin
 	}
 	pl, pr := cfg.Tree.LeftOf(p), cfg.Tree.RightOf(p)
 	if p.Size()+q.Size() > spawnSize {
+		cfg.Abort.Check()
 		parallel.Do(
 			func() { getRhoPair(cfg, pl, q, beta, rho) },
 			func() { getRhoPair(cfg, pr, q, beta, rho) },
@@ -156,6 +159,7 @@ func getPairsNode(cfg Config, a *kdtree.Node, beta int, rhoLo, rhoHi float64) []
 	al, ar := cfg.Tree.LeftOf(a), cfg.Tree.RightOf(a)
 	var left, right, mid []Edge
 	if a.Size() > spawnSize {
+		cfg.Abort.Check()
 		var g parallel.Group
 		g.Spawn(func() { left = getPairsNode(cfg, al, beta, rhoLo, rhoHi) })
 		g.Spawn(func() { right = getPairsNode(cfg, ar, beta, rhoLo, rhoHi) })
@@ -205,6 +209,7 @@ func getPairsPair(cfg Config, p, q *kdtree.Node, beta int, rhoLo, rhoHi float64)
 	pl, pr := cfg.Tree.LeftOf(p), cfg.Tree.RightOf(p)
 	var l, r []Edge
 	if p.Size()+q.Size() > spawnSize {
+		cfg.Abort.Check()
 		parallel.Do(
 			func() { l = getPairsPair(cfg, pl, q, beta, rhoLo, rhoHi) },
 			func() { r = getPairsPair(cfg, pr, q, beta, rhoLo, rhoHi) },

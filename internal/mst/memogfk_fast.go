@@ -3,6 +3,7 @@ package mst
 import (
 	"math"
 
+	"parclust/internal/abort"
 	"parclust/internal/geometry"
 	"parclust/internal/kdtree"
 	"parclust/internal/parallel"
@@ -25,6 +26,7 @@ type sqCfg struct {
 	m     kdtree.Metric
 	sep   wspd.Separation
 	stats *Stats
+	af    *abort.Flag
 }
 
 // sqConfigFor returns the squared-space state when cfg's metric is one of
@@ -32,10 +34,10 @@ type sqCfg struct {
 func sqConfigFor(cfg Config) *sqCfg {
 	switch m := cfg.Metric.(type) {
 	case kdtree.Euclidean:
-		return &sqCfg{t: cfg.Tree, m: cfg.Metric, sep: cfg.Sep, stats: cfg.Stats}
+		return &sqCfg{t: cfg.Tree, m: cfg.Metric, sep: cfg.Sep, stats: cfg.Stats, af: cfg.Abort}
 	case kdtree.MutualReachability:
 		if m.M == nil {
-			return &sqCfg{t: cfg.Tree, cd: m.CD, m: cfg.Metric, sep: cfg.Sep, stats: cfg.Stats}
+			return &sqCfg{t: cfg.Tree, cd: m.CD, m: cfg.Metric, sep: cfg.Sep, stats: cfg.Stats, af: cfg.Abort}
 		}
 	}
 	return nil
@@ -74,6 +76,7 @@ func getRhoNodeSq(c *sqCfg, a *kdtree.Node, beta int, rho *parallel.AtomicMinFlo
 	}
 	al, ar := c.t.LeftOf(a), c.t.RightOf(a)
 	if a.Size() > spawnSize {
+		c.af.Check()
 		var g parallel.Group
 		g.Spawn(func() { getRhoNodeSq(c, al, beta, rho) })
 		g.Spawn(func() { getRhoNodeSq(c, ar, beta, rho) })
@@ -109,6 +112,7 @@ func getRhoPairSq(c *sqCfg, p, q *kdtree.Node, beta int, rho *parallel.AtomicMin
 	}
 	pl, pr := c.t.LeftOf(p), c.t.RightOf(p)
 	if p.Size()+q.Size() > spawnSize {
+		c.af.Check()
 		parallel.Do(
 			func() { getRhoPairSq(c, pl, q, beta, rho) },
 			func() { getRhoPairSq(c, pr, q, beta, rho) },
@@ -128,6 +132,7 @@ func getPairsNodeSq(c *sqCfg, a *kdtree.Node, beta int, rhoLo2, rhoHi2 float64) 
 	al, ar := c.t.LeftOf(a), c.t.RightOf(a)
 	var left, right, mid []Edge
 	if a.Size() > spawnSize {
+		c.af.Check()
 		var g parallel.Group
 		g.Spawn(func() { left = getPairsNodeSq(c, al, beta, rhoLo2, rhoHi2) })
 		g.Spawn(func() { right = getPairsNodeSq(c, ar, beta, rhoLo2, rhoHi2) })
@@ -176,6 +181,7 @@ func getPairsPairSq(c *sqCfg, p, q *kdtree.Node, beta int, rhoLo2, rhoHi2 float6
 	pl, pr := c.t.LeftOf(p), c.t.RightOf(p)
 	var l, r []Edge
 	if p.Size()+q.Size() > spawnSize {
+		c.af.Check()
 		parallel.Do(
 			func() { l = getPairsPairSq(c, pl, q, beta, rhoLo2, rhoHi2) },
 			func() { r = getPairsPairSq(c, pr, q, beta, rhoLo2, rhoHi2) },

@@ -1,6 +1,7 @@
 package mst
 
 import (
+	"parclust/internal/abort"
 	"parclust/internal/kdtree"
 	"parclust/internal/parallel"
 	"parclust/internal/wspd"
@@ -27,6 +28,12 @@ type Config struct {
 	// round bound of Theorem 3.1) to the linear growth of the sequential
 	// algorithm of Chatterjee et al. Used by the ablation benchmarks.
 	LinearBeta bool
+
+	// Abort is an optional cooperative cancellation flag, polled once per
+	// filter round and once per parallel work chunk/traversal spawn. On
+	// abort the run unwinds with abort.Signal{} (recovered at the
+	// stage-build boundary in internal/engine). nil means uncancellable.
+	Abort *abort.Flag
 }
 
 // nextBeta advances the round cardinality bound.
@@ -56,13 +63,16 @@ func Naive(cfg Config) []Edge {
 	}
 	var pairs []wspd.Pair
 	cfg.Stats.Time("wspd", func() {
-		pairs = wspd.Decompose(t, cfg.Sep)
+		pairs = wspd.DecomposeCancel(t, cfg.Sep, cfg.Abort)
 	})
 	cfg.Stats.AddPairs(int64(len(pairs)))
 	cfg.Stats.NotePeak(int64(len(pairs)))
 	edges := make([]Edge, len(pairs))
 	cfg.Stats.Time("bccp", func() {
 		parallel.For(len(pairs), 8, func(i int) {
+			if i%512 == 0 {
+				cfg.Abort.Check()
+			}
 			r := kdtree.BCCP(t, cfg.Metric, pairs[i].A, pairs[i].B)
 			edges[i] = MakeEdge(r.U, r.V, r.W)
 		})

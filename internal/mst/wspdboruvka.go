@@ -55,7 +55,7 @@ type wspdPairList struct {
 func (p *wspdPairList) edge() Edge { return MakeEdge(p.res.U, p.res.V, p.res.W) }
 
 func decomposePairs(cfg Config) []wspdPairList {
-	raw := wspd.Decompose(cfg.Tree, cfg.Sep)
+	raw := wspd.DecomposeCancel(cfg.Tree, cfg.Sep, cfg.Abort)
 	out := make([]wspdPairList, len(raw))
 	parallel.For(len(raw), 0, func(i int) {
 		out[i] = wspdPairList{a: raw[i].A, b: raw[i].B, res: kdtree.BCCPResult{U: -1, V: -1, W: math.NaN()}}
@@ -78,6 +78,7 @@ func newWSPDBoruvkaRun(cfg Config, ws *Workspace, pairs []wspdPairList) *wspdBor
 	ws.grow(cfg.Tree.Pts.N)
 	r := &wspdBoruvkaRun{cfg: cfg, ws: ws, pairs: pairs}
 	r.bccpBody = func(lo, hi int) {
+		cfg.Abort.Check()
 		for i := lo; i < hi; i++ {
 			if r.pairs[i].res.U < 0 {
 				r.pairs[i].res = kdtree.BCCP(cfg.Tree, cfg.Metric, r.pairs[i].a, r.pairs[i].b)
@@ -121,6 +122,7 @@ func (r *wspdBoruvkaRun) round() bool {
 	if ws.uf.Components() <= 1 {
 		return false
 	}
+	cfg.Abort.Check()
 	cfg.Stats.AddRound()
 	cfg.Tree.RefreshComponentsInto(ws.uf, ws.comp)
 

@@ -25,15 +25,15 @@ func randPoints(n, dim int, seed int64) geometry.Points {
 // core-distance sets, HDBSCAN MSTs + hierarchies, and an EMST hierarchy.
 func warmEngine(pts geometry.Points) *engine.Engine {
 	e := engine.New(pts, metric.L2{})
-	e.Hierarchy(engine.KindHDBSCAN, uint8(hdbscan.MemoGFK), 5, nil)
-	e.Hierarchy(engine.KindHDBSCAN, uint8(hdbscan.MemoGFK), 9, nil)
-	e.Hierarchy(engine.KindEMST, uint8(engine.EMSTMemoGFK), 1, nil)
+	testHier(e, engine.KindHDBSCAN, uint8(hdbscan.MemoGFK), 5)
+	testHier(e, engine.KindHDBSCAN, uint8(hdbscan.MemoGFK), 9)
+	testHier(e, engine.KindEMST, uint8(engine.EMSTMemoGFK), 1)
 	return e
 }
 
 // labelsAt runs the reference HDBSCAN query the corruption tests compare.
 func labelsAt(e *engine.Engine, minPts int, eps float64) []int32 {
-	return e.Hierarchy(engine.KindHDBSCAN, uint8(hdbscan.MemoGFK), minPts, nil).CutAt(eps).Labels
+	return testHier(e, engine.KindHDBSCAN, uint8(hdbscan.MemoGFK), minPts).CutAt(eps).Labels
 }
 
 func encodeWarm(t *testing.T, pts geometry.Points) []byte {
@@ -50,8 +50,8 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		pts := randPoints(n, 3, int64(n+1))
 		e := engine.New(pts, metric.L2{})
 		if n > 0 {
-			e.Hierarchy(engine.KindHDBSCAN, uint8(hdbscan.MemoGFK), min(n, 5), nil)
-			e.Hierarchy(engine.KindEMST, uint8(engine.EMSTMemoGFK), 1, nil)
+			testHier(e, engine.KindHDBSCAN, uint8(hdbscan.MemoGFK), min(n, 5))
+			testHier(e, engine.KindEMST, uint8(engine.EMSTMemoGFK), 1)
 		}
 		var buf bytes.Buffer
 		if err := Encode(&buf, "l2", e); err != nil {
@@ -104,7 +104,7 @@ func TestSnapshotRoundTripMetrics(t *testing.T) {
 			}
 		}
 		e := engine.New(p, kern)
-		e.Hierarchy(engine.KindHDBSCAN, uint8(hdbscan.MemoGFK), 4, nil)
+		testHier(e, engine.KindHDBSCAN, uint8(hdbscan.MemoGFK), 4)
 		var buf bytes.Buffer
 		if err := Encode(&buf, name, e); err != nil {
 			t.Fatalf("%s: encode: %v", name, err)

@@ -45,7 +45,7 @@ func FuzzSnapshotHeader(f *testing.F) {
 			t.Fatalf("engine has %d points, header says %d", n, res.Header.N)
 		}
 		if res.Header.N > 0 && res.Header.N <= 64 {
-			res.Engine.Hierarchy(1, 0, min(res.Header.N, 4), nil).CutAt(1)
+			testHier(res.Engine, 1, 0, min(res.Header.N, 4)).CutAt(1)
 		}
 	})
 }

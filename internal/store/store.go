@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"parclust/internal/faultinject"
 )
 
 // Ext is the snapshot file extension.
@@ -61,6 +63,11 @@ func (d *Dir) Write(name string, write func(w io.Writer) error) (int64, error) {
 	if !SafeName(name) {
 		return 0, fmt.Errorf("store: unsafe dataset name %q", name)
 	}
+	// "store.write" covers the whole snapshot spill, simulating a full or
+	// failing disk before any temp file is created.
+	if err := faultinject.Check("store.write"); err != nil {
+		return 0, fmt.Errorf("store: write snapshot: %w", err)
+	}
 	f, err := os.CreateTemp(d.path, ".tmp-"+name+"-*")
 	if err != nil {
 		return 0, fmt.Errorf("store: create temp snapshot: %w", err)
@@ -92,6 +99,11 @@ func (d *Dir) Write(name string, write func(w io.Writer) error) (int64, error) {
 func (d *Dir) Open(name string) (*os.File, error) {
 	if !SafeName(name) {
 		return nil, fmt.Errorf("store: unsafe dataset name %q", name)
+	}
+	// "store.read" simulates failing or slow cold-load reads (Delay mode
+	// stalls here without holding any lock, so warm queries are unaffected).
+	if err := faultinject.Check("store.read"); err != nil {
+		return nil, fmt.Errorf("store: open snapshot: %w", err)
 	}
 	return os.Open(d.Path(name))
 }

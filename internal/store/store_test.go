@@ -134,7 +134,7 @@ func TestDirRejectsUnsafeNames(t *testing.T) {
 func TestDecodeSkipReportsAreActionable(t *testing.T) {
 	pts := randPoints(120, 2, 6)
 	e := engine.New(pts, metric.L2{})
-	e.CoreDist(5, nil)
+	testCoreDist(e, 5)
 	var buf bytes.Buffer
 	if err := Encode(&buf, "l2", e); err != nil {
 		t.Fatal(err)

@@ -9,6 +9,7 @@ package wspd
 import (
 	"math"
 
+	"parclust/internal/abort"
 	"parclust/internal/kdtree"
 	"parclust/internal/metric"
 	"parclust/internal/parallel"
@@ -135,10 +136,17 @@ const spawnSize = 1024
 // pairs. The traversal parallelizes across subtrees; each goroutine collects
 // into a local buffer and the buffers are concatenated.
 func Decompose(t *kdtree.Tree, sep Separation) []Pair {
+	return DecomposeCancel(t, sep, nil)
+}
+
+// DecomposeCancel is Decompose with a cooperative cancellation flag,
+// polled once per internal tree node and once per spawned FindPair branch;
+// on abort the traversal unwinds with abort.Signal{}. af may be nil.
+func DecomposeCancel(t *kdtree.Tree, sep Separation, af *abort.Flag) []Pair {
 	if t.Root == nil || t.Root.Size() <= 1 {
 		return nil
 	}
-	return wspdNode(t, t.Root, sep)
+	return wspdNode(t, t.Root, sep, af)
 }
 
 // Count returns the number of WSPD pairs without materializing them.
@@ -149,24 +157,25 @@ func Count(t *kdtree.Tree, sep Separation) int {
 	return countNode(t, t.Root, sep)
 }
 
-func wspdNode(t *kdtree.Tree, a *kdtree.Node, sep Separation) []Pair {
+func wspdNode(t *kdtree.Tree, a *kdtree.Node, sep Separation, af *abort.Flag) []Pair {
 	if a.IsLeaf() || a.Size() <= 1 {
 		return nil
 	}
+	af.Check()
 	al, ar := t.LeftOf(a), t.RightOf(a)
 	var left, right, mid []Pair
 	if a.Size() > spawnSize {
 		// Fork the subtree traversals as stealable tasks and keep the
 		// FindPair of the split on the current worker (work-first).
 		var g parallel.Group
-		g.Spawn(func() { left = wspdNode(t, al, sep) })
-		g.Spawn(func() { right = wspdNode(t, ar, sep) })
-		g.Run(func() { mid = findPair(t, al, ar, sep) })
+		g.Spawn(func() { left = wspdNode(t, al, sep, af) })
+		g.Spawn(func() { right = wspdNode(t, ar, sep, af) })
+		g.Run(func() { mid = findPair(t, al, ar, sep, af) })
 		g.Sync()
 	} else {
-		left = wspdNode(t, al, sep)
-		right = wspdNode(t, ar, sep)
-		mid = findPair(t, al, ar, sep)
+		left = wspdNode(t, al, sep, af)
+		right = wspdNode(t, ar, sep, af)
+		mid = findPair(t, al, ar, sep, af)
 	}
 	// left is exclusively owned by this call, so extend it in place rather
 	// than copying all three slices into a fresh buffer.
@@ -180,7 +189,7 @@ func wspdNode(t *kdtree.Tree, a *kdtree.Node, sep Separation) []Pair {
 	return append(out, mid...)
 }
 
-func findPair(t *kdtree.Tree, p, q *kdtree.Node, sep Separation) []Pair {
+func findPair(t *kdtree.Tree, p, q *kdtree.Node, sep Separation, af *abort.Flag) []Pair {
 	if p.Radius < q.Radius {
 		p, q = q, p
 	}
@@ -199,13 +208,14 @@ func findPair(t *kdtree.Tree, p, q *kdtree.Node, sep Separation) []Pair {
 	pl, pr := t.LeftOf(p), t.RightOf(p)
 	var l, r []Pair
 	if p.Size()+q.Size() > spawnSize {
+		af.Check()
 		parallel.Do(
-			func() { l = findPair(t, pl, q, sep) },
-			func() { r = findPair(t, pr, q, sep) },
+			func() { l = findPair(t, pl, q, sep, af) },
+			func() { r = findPair(t, pr, q, sep, af) },
 		)
 	} else {
-		l = findPair(t, pl, q, sep)
-		r = findPair(t, pr, q, sep)
+		l = findPair(t, pl, q, sep, af)
+		r = findPair(t, pr, q, sep, af)
 	}
 	return append(l, r...)
 }
