@@ -411,3 +411,60 @@ func BenchmarkIndexCut(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkHighdim_Float32 compares the float32 SoA fast path against the
+// float64 default on embedding-style high-dimensional data (the benchsuite
+// `highdim` experiment in benchmark form): end-to-end HDBSCAN*, the
+// core-distance stage, and warm per-query k-NN. The float64 runs are the
+// baselines the acceptance ratios divide by.
+func BenchmarkHighdim_Float32(b *testing.B) {
+	for _, dim := range []int{16, 128} {
+		n := benchN / 2
+		if dim >= 128 {
+			n = benchN / 10 // keep the -bench=. sweep quick; benchsuite scales up
+		}
+		pts := generator.Embed(n, dim, 16, 1)
+		for _, dtype := range []string{"float64", "float32"} {
+			opts := &IndexOptions{Float32: dtype == "float32"}
+			b.Run(fmt.Sprintf("op=hdbscan/dim=%d/dtype=%s", dim, dtype), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					idx, err := NewIndex(pts, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := idx.HDBSCAN(10); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("op=coredist/dim=%d/dtype=%s", dim, dtype), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer() // stage memoization needs a fresh Index per run
+					idx, err := NewIndex(pts, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if _, err := idx.CoreDistances(10); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("op=knn/dim=%d/dtype=%s", dim, dtype), func(b *testing.B) {
+				idx, err := NewIndex(pts, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := idx.KNN(0, 10); err != nil { // warm the tree stage
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := idx.KNN(int32(i%n), 10); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -42,7 +42,7 @@ import (
 )
 
 var (
-	expFlag      = flag.String("exp", "all", "experiment to run (table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10 memory pairs metrics serve daemon restart overload all)")
+	expFlag      = flag.String("exp", "all", "experiment to run (table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10 memory pairs metrics serve daemon restart overload highdim all)")
 	nFlag        = flag.Int("n", 10000, "points per dataset")
 	minPtsFlag   = flag.Int("minpts", 10, "HDBSCAN* minPts")
 	seedFlag     = flag.Int64("seed", 42, "generator seed")
@@ -64,6 +64,7 @@ type jsonSummary struct {
 	Threads     []int            `json:"threads"`
 	Experiments []expTime        `json:"experiments"`
 	Daemon      []daemonBenchRow `json:"daemon,omitempty"`
+	Highdim     []highdimRow     `json:"highdim,omitempty"`
 }
 
 type expTime struct {
@@ -83,11 +84,23 @@ type daemonBenchRow struct {
 	PeakHeap uint64  `json:"peak_heap_bytes"`
 }
 
-// daemonRows / benchfmtLines collect daemonStudy output for the -json
-// summary and the -benchfmt series file.
+// highdimRow is one (op, dim, dtype) cell of the highdim experiment:
+// the median-of-3 wall time and, for float32 rows, the speedup over the
+// float64 median of the same cell.
+type highdimRow struct {
+	Op      string  `json:"op"` // coredist | hdbscan | knn
+	Dim     int     `json:"dim"`
+	Dtype   string  `json:"dtype"`
+	MedianS float64 `json:"median_s"`
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// daemonRows / benchfmtLines / highdimRows collect per-study output for
+// the -json summary and the -benchfmt series file.
 var (
 	daemonRows    []daemonBenchRow
 	benchfmtLines []string
+	highdimRows   []highdimRow
 )
 
 func main() {
@@ -97,7 +110,7 @@ func main() {
 		*nFlag, *minPtsFlag, *seedFlag, runtime.NumCPU())
 	exps := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
-		exps = []string{"table3", "table4", "table5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "memory", "pairs", "metrics", "serve", "daemon", "restart", "overload"}
+		exps = []string{"table3", "table4", "table5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "memory", "pairs", "metrics", "serve", "daemon", "restart", "overload", "highdim"}
 	}
 	summary := jsonSummary{
 		N:         *nFlag,
@@ -143,6 +156,8 @@ func main() {
 			restartStudy()
 		case "overload":
 			overloadStudy()
+		case "highdim":
+			highdimStudy()
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", e)
 			os.Exit(2)
@@ -150,6 +165,7 @@ func main() {
 		summary.Experiments = append(summary.Experiments, expTime{Name: name, Seconds: time.Since(start).Seconds()})
 	}
 	summary.Daemon = daemonRows
+	summary.Highdim = highdimRows
 	if *benchfmtFlag != "" && len(benchfmtLines) > 0 {
 		f, err := os.OpenFile(*benchfmtFlag, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
@@ -1284,5 +1300,118 @@ func pairStudy() {
 		geo := wspd.Count(t, wspd.Geometric{S: 2})
 		mu := wspd.Count(t, wspd.MutualUnreachable{})
 		fmt.Printf("%s | %d | %d | %.2fx\n", d.Name, geo, mu, float64(geo)/math.Max(1, float64(mu)))
+	}
+}
+
+// ---------------------------------------------------------------- Highdim
+
+// highdimMedian returns the median of a small sample (destructively sorts).
+func highdimMedian(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+// mstWeight sums the edge weights of an MST.
+func mstWeight(edges []parclust.Edge) float64 {
+	var s float64
+	for _, e := range edges {
+		s += e.W
+	}
+	return s
+}
+
+// highdimStudy measures the float32 SoA leaf-scan fast path against the
+// float64 default on unit-sphere embedding workloads at dim 16 and 128:
+// core-distance construction (kd-tree build + all-points kNN), end-to-end
+// HDBSCAN* on a fresh Index (tree + core + MST + dendrogram), and warm
+// per-query kNN. Each cell is the median of 3 fresh Index builds; every
+// rep also lands in the -benchfmt series so benchstat computes its own
+// medians. The float32 rows additionally report the relative MST-weight
+// divergence from the float64 run — the precision cost of the speedup.
+func highdimStudy() {
+	fmt.Println("\n## Highdim: float32 SoA kernels vs float64 (embed workload, L2)")
+	fmt.Printf("dim | dtype | coredist_ms | hdbscan_ms | knn_us/q | coredist_speedup | hdbscan_speedup | knn_speedup | mst_rel_err\n")
+	const reps = 3
+	for _, dim := range []int{16, 128} {
+		pts := generator.Embed(*nFlag, dim, 16, *seedFlag)
+		nq := *nFlag
+		if nq > 2000 {
+			nq = 2000
+		}
+		base := map[string]float64{} // float64 medians, keyed by op
+		var baseMST float64
+		for _, dtype := range []string{"float64", "float32"} {
+			var coreS, hdbS, knnS []float64 // seconds (knn: per query)
+			var mstW float64
+			for rep := 0; rep < reps; rep++ {
+				idx, err := parclust.NewIndex(pts, &parclust.IndexOptions{Float32: dtype == "float32"})
+				if err != nil {
+					panic(err)
+				}
+				start := time.Now()
+				if _, err := idx.CoreDistances(*minPtsFlag); err != nil {
+					panic(err)
+				}
+				core := time.Since(start)
+
+				// End-to-end on a second fresh Index so the timed region is
+				// the whole pipeline (tree + core + MST + dendrogram), not
+				// just the stages left unmemoized by the core-distance run.
+				idx2, err := parclust.NewIndex(pts, &parclust.IndexOptions{Float32: dtype == "float32"})
+				if err != nil {
+					panic(err)
+				}
+				start = time.Now()
+				h, err := idx2.HDBSCAN(*minPtsFlag)
+				if err != nil {
+					panic(err)
+				}
+				hdb := time.Since(start)
+				mstW = mstWeight(h.MST)
+
+				start = time.Now()
+				for q := 0; q < nq; q++ {
+					if _, err := idx.KNN(int32(q), 10); err != nil {
+						panic(err)
+					}
+				}
+				knn := time.Since(start)
+
+				coreS = append(coreS, core.Seconds())
+				hdbS = append(hdbS, hdb.Seconds())
+				knnS = append(knnS, knn.Seconds()/float64(nq))
+				benchfmtLines = append(benchfmtLines,
+					fmt.Sprintf("BenchmarkHighdim/op=coredist/dim=%d/dtype=%s 1 %d ns/op", dim, dtype, core.Nanoseconds()),
+					fmt.Sprintf("BenchmarkHighdim/op=hdbscan/dim=%d/dtype=%s 1 %d ns/op", dim, dtype, hdb.Nanoseconds()),
+					fmt.Sprintf("BenchmarkHighdim/op=knn/dim=%d/dtype=%s %d %d ns/op", dim, dtype, nq, knn.Nanoseconds()/int64(nq)))
+			}
+			med := map[string]float64{
+				"coredist": highdimMedian(coreS),
+				"hdbscan":  highdimMedian(hdbS),
+				"knn":      highdimMedian(knnS),
+			}
+			speed := func(op string) float64 {
+				if dtype == "float64" {
+					return 0
+				}
+				return base[op] / med[op]
+			}
+			for _, op := range []string{"coredist", "hdbscan", "knn"} {
+				highdimRows = append(highdimRows, highdimRow{
+					Op: op, Dim: dim, Dtype: dtype, MedianS: med[op], Speedup: speed(op),
+				})
+			}
+			if dtype == "float64" {
+				base = med
+				baseMST = mstW
+				fmt.Printf("%d | %s | %.1f | %.1f | %.1f | - | - | - | -\n",
+					dim, dtype, med["coredist"]*1e3, med["hdbscan"]*1e3, med["knn"]*1e6)
+			} else {
+				relErr := math.Abs(mstW-baseMST) / math.Max(baseMST, 1e-300)
+				fmt.Printf("%d | %s | %.1f | %.1f | %.1f | %.2fx | %.2fx | %.2fx | %.2e\n",
+					dim, dtype, med["coredist"]*1e3, med["hdbscan"]*1e3, med["knn"]*1e6,
+					speed("coredist"), speed("hdbscan"), speed("knn"), relErr)
+			}
+		}
 	}
 }

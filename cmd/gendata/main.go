@@ -5,6 +5,7 @@
 // Usage:
 //
 //	gendata -kind varden -n 1000000 -dim 3 -out varden3d.csv
+//	gendata -dist embed -n 100000 -dim 128 -out embed128.csv
 //	gendata -paper -n 100000 -outdir data/
 package main
 
@@ -16,19 +17,25 @@ import (
 
 	"parclust/internal/dataio"
 	"parclust/internal/generator"
+	"parclust/internal/geometry"
 )
 
 func main() {
 	var (
-		kind   = flag.String("kind", "uniform", "generator: uniform | varden | mixture | geolife")
-		n      = flag.Int("n", 100000, "number of points")
-		dim    = flag.Int("dim", 2, "dimension")
-		seed   = flag.Int64("seed", 42, "seed")
-		out    = flag.String("out", "", "output CSV path")
-		paper  = flag.Bool("paper", false, "generate all twelve paper datasets into -outdir")
-		outdir = flag.String("outdir", "data", "output directory for -paper")
+		kind     = flag.String("kind", "uniform", "generator: uniform | varden | mixture | geolife | embed")
+		dist     = flag.String("dist", "", "alias for -kind (takes precedence when set)")
+		n        = flag.Int("n", 100000, "number of points")
+		dim      = flag.Int("dim", 2, "dimension (embed: 2..512)")
+		clusters = flag.Int("clusters", 16, "direction clusters for the embed generator")
+		seed     = flag.Int64("seed", 42, "seed")
+		out      = flag.String("out", "", "output CSV path")
+		paper    = flag.Bool("paper", false, "generate all twelve paper datasets into -outdir")
+		outdir   = flag.String("outdir", "data", "output directory for -paper")
 	)
 	flag.Parse()
+	if *dist != "" {
+		*kind = *dist
+	}
 	if *paper {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "gendata:", err)
@@ -49,7 +56,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gendata: -out is required (or use -paper)")
 		os.Exit(2)
 	}
-	pts, err := dataio.LoadOrGenerate("", *kind, *n, *dim, *seed)
+	var pts = geometry.Points{}
+	var err error
+	if *kind == "embed" {
+		// The embed generator takes an explicit cluster count; the other
+		// kinds go through the shared dataio switch.
+		if *dim < 2 || *dim > generator.EmbedMaxDim {
+			fmt.Fprintf(os.Stderr, "gendata: embed needs 2 <= -dim <= %d, got %d\n", generator.EmbedMaxDim, *dim)
+			os.Exit(2)
+		}
+		pts = generator.Embed(*n, *dim, *clusters, *seed)
+	} else {
+		pts, err = dataio.LoadOrGenerate("", *kind, *n, *dim, *seed)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gendata:", err)
 		os.Exit(1)

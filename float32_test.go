@@ -1,0 +1,321 @@
+package parclust
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"parclust/internal/metric"
+)
+
+// Float32 divergence oracle: the float32 fast path must agree with the
+// exact float64 path up to float32 rounding of individual distances — the
+// precision contract WithFloat32 documents. The sweep compares both paths
+// end to end through the Index API and bounds MST weight error, merge
+// height error, and flat-label disagreement.
+
+// f32SweepTol are the sweep's epsilon bounds. Distances round with
+// relative error ~2^-24 per coordinate pair; accumulations over dim lanes
+// and the chord→angle map amplify that by small constants, so the bounds
+// sit three orders of magnitude above worst-case rounding while staying
+// far below any structural divergence.
+const (
+	f32WeightRelTol = 1e-4
+	f32HeightRelTol = 1e-3
+	f32HeightAbsTol = 1e-6
+	f32LabelAgree   = 0.999
+)
+
+// canonLabels renumbers cluster ids by first appearance so two label
+// vectors compare positionally even if the paths numbered components in a
+// different order. Noise (-1) is preserved.
+func canonLabels(ls []int32) []int32 {
+	out := make([]int32, len(ls))
+	remap := map[int32]int32{}
+	next := int32(0)
+	for i, l := range ls {
+		if l < 0 {
+			out[i] = -1
+			continue
+		}
+		r, ok := remap[l]
+		if !ok {
+			r = next
+			remap[l] = r
+			next++
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func relErr(got, want float64) float64 {
+	d := math.Abs(got - want)
+	if m := math.Abs(want); m > 0 {
+		return d / m
+	}
+	return d
+}
+
+func TestFloat32OracleSweep(t *testing.T) {
+	dims := []int{2, 16, 128}
+	seeds := []int64{3, 17}
+	if testing.Short() {
+		dims = []int{2, 16}
+		seeds = seeds[:1]
+	}
+	for _, m := range []Metric{MetricL2, MetricSqL2, MetricL1, MetricLInf, MetricAngular} {
+		for _, dim := range dims {
+			for _, seed := range seeds {
+				n := 800
+				if dim >= 128 {
+					n = 300
+				}
+				t.Run(fmt.Sprintf("%v/dim=%d/seed=%d", m, dim, seed), func(t *testing.T) {
+					pts := GenerateGaussianMixture(n, dim, 4, seed)
+					base, err := NewIndex(pts, &IndexOptions{Metric: m})
+					if err != nil {
+						t.Fatal(err)
+					}
+					fast, err := NewIndex(pts, &IndexOptions{Metric: m, Float32: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !fast.Float32() || base.Float32() {
+						t.Fatal("Float32() flags do not reflect the options")
+					}
+					hb, err := base.HDBSCAN(5)
+					if err != nil {
+						t.Fatal(err)
+					}
+					hf, err := fast.HDBSCAN(5)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(hb.MST) != len(hf.MST) {
+						t.Fatalf("MST sizes differ: %d vs %d", len(hb.MST), len(hf.MST))
+					}
+					if re := relErr(hf.TotalWeight(), hb.TotalWeight()); re > f32WeightRelTol {
+						t.Fatalf("MST total weight rel err %.3g > %.3g", re, f32WeightRelTol)
+					}
+					// Merge heights: the sorted MST weights are the heights
+					// at which the single-linkage-over-reachability merges
+					// happen; compare them pairwise.
+					wb := make([]float64, len(hb.MST))
+					wf := make([]float64, len(hf.MST))
+					for i := range hb.MST {
+						wb[i], wf[i] = hb.MST[i].W, hf.MST[i].W
+					}
+					sort.Float64s(wb)
+					sort.Float64s(wf)
+					for i := range wb {
+						if math.Abs(wf[i]-wb[i]) > f32HeightAbsTol && relErr(wf[i], wb[i]) > f32HeightRelTol {
+							t.Fatalf("merge height %d: %.9g vs %.9g", i, wf[i], wb[i])
+						}
+					}
+					// Flat labels at a well-separated cut: the midpoint of
+					// the largest merge-height gap, so no point's
+					// assignment is decided at float32 resolution. (Cutting
+					// exactly at a merge height would flip every point
+					// behind that edge on a one-ulp rounding difference.)
+					gi := 0
+					for i := 1; i < len(wb); i++ {
+						if wb[i]-wb[i-1] > wb[gi+1]-wb[gi] {
+							gi = i - 1
+						}
+					}
+					eps := (wb[gi] + wb[gi+1]) / 2
+					lb := canonLabels(hb.ClustersAt(eps).Labels)
+					lf := canonLabels(hf.ClustersAt(eps).Labels)
+					agree := 0
+					for i := range lb {
+						if lb[i] == lf[i] {
+							agree++
+						}
+					}
+					if frac := float64(agree) / float64(len(lb)); frac < f32LabelAgree {
+						t.Fatalf("label agreement %.4f < %.4f at eps=%g", frac, f32LabelAgree, eps)
+					}
+					// k-NN neighbor sets at k=5 from a few probes.
+					for q := int32(0); q < 5; q++ {
+						nb, _ := base.KNN(q, 5)
+						nf, _ := fast.KNN(q, 5)
+						for i := range nb {
+							if math.Abs(nf[i].Dist-nb[i].Dist) > f32HeightAbsTol && relErr(nf[i].Dist, nb[i].Dist) > f32HeightRelTol {
+								t.Fatalf("KNN(%d) dist %d: %.9g vs %.9g", q, i, nf[i].Dist, nb[i].Dist)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFloat32Duplicates pins degenerate input: heavy duplication means
+// zero distances everywhere, which must flow through the float32 panels
+// without NaNs and agree with the float64 path exactly (0 rounds to 0).
+func TestFloat32Duplicates(t *testing.T) {
+	n, dim := 200, 16
+	pts := NewPoints(n, dim)
+	base := GenerateGaussianMixture(8, dim, 2, 5)
+	for i := 0; i < n; i++ {
+		copy(pts.Data[i*dim:(i+1)*dim], base.Data[(i%8)*dim:(i%8+1)*dim])
+	}
+	fast, err := NewIndex(pts, WithFloat32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewIndex(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf, err := fast.HDBSCAN(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	he, err := exact.HDBSCAN(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range hf.MST {
+		if math.IsNaN(e.W) || math.IsInf(e.W, 0) {
+			t.Fatalf("non-finite MST weight %v", e.W)
+		}
+	}
+	if re := relErr(hf.TotalWeight(), he.TotalWeight()); re > f32WeightRelTol {
+		t.Fatalf("duplicate-heavy MST weight rel err %.3g", re)
+	}
+}
+
+// TestFloat32NearTies pins inputs whose pairwise gaps sit below float32
+// resolution: coordinates differing by parts in 1e-9 collapse to equal
+// float32 distances. The run must stay finite and within the weight
+// tolerance; which of the tied edges the MST picks is unspecified.
+func TestFloat32NearTies(t *testing.T) {
+	n, dim := 128, 8
+	pts := NewPoints(n, dim)
+	for i := 0; i < n; i++ {
+		for k := 0; k < dim; k++ {
+			pts.Data[i*dim+k] = float64(i%4) + float64(i)*1e-9 + float64(k)*1e-10
+		}
+	}
+	fast, err := NewIndex(pts, WithFloat32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewIndex(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf, err := fast.HDBSCAN(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	he, err := exact.HDBSCAN(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range hf.MST {
+		if math.IsNaN(e.W) || math.IsInf(e.W, 0) {
+			t.Fatalf("non-finite MST weight %v", e.W)
+		}
+	}
+	if d := math.Abs(hf.TotalWeight() - he.TotalWeight()); d > 1e-3 {
+		t.Fatalf("near-tie MST weights diverge by %v", d)
+	}
+}
+
+// TestFloat32OverflowGuard pins the magnitude contract: coordinates beyond
+// metric.MaxAbsCoord32 must be rejected at NewIndex — the float32 path may
+// never return ±Inf — while magnitudes just inside the bound accumulate
+// finitely, and the float64 path accepts the same dataset unchanged.
+func TestFloat32OverflowGuard(t *testing.T) {
+	dim := 16
+	bound := metric.MaxAbsCoord32(dim)
+
+	over := GenerateUniform(64, dim, 9)
+	over.Data[5*dim+3] = bound * 2
+	if _, err := NewIndex(over, WithFloat32()); err == nil {
+		t.Fatal("NewIndex accepted a coordinate beyond the float32 magnitude bound")
+	}
+	if _, err := NewIndex(over, nil); err != nil {
+		t.Fatalf("float64 path rejected the same dataset: %v", err)
+	}
+
+	nan := GenerateUniform(64, dim, 10)
+	nan.Data[7*dim] = math.NaN()
+	if _, err := NewIndex(nan, WithFloat32()); err == nil {
+		t.Fatal("NewIndex accepted a NaN coordinate on the float32 path")
+	}
+
+	// Alternating ±0.9*bound maximizes every squared-space accumulation;
+	// all reported distances must still be finite.
+	big := NewPoints(64, dim)
+	for i := range big.Data {
+		v := 0.9 * bound
+		if i%2 == 0 {
+			v = -v
+		}
+		big.Data[i] = v + float64(i%64)
+	}
+	ix, err := NewIndex(big, WithFloat32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := ix.KNN(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nn := range nb {
+		if math.IsInf(nn.Dist, 0) || math.IsNaN(nn.Dist) {
+			t.Fatalf("near-bound magnitudes produced non-finite distance %v", nn.Dist)
+		}
+	}
+}
+
+// TestFloat32SnapshotRoundTrip pins the dtype header: a snapshot of a
+// float32 Index restores in float32 mode and answers identically.
+func TestFloat32SnapshotRoundTrip(t *testing.T) {
+	pts := GenerateGaussianMixture(500, 16, 3, 11)
+	ix, err := NewIndex(pts, WithFloat32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ix.HDBSCAN(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, det, err := ReadSnapshotDetails(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Float32 {
+		t.Fatal("snapshot details lost the float32 dtype")
+	}
+	if !back.Float32() {
+		t.Fatal("restored Index is not in float32 mode")
+	}
+	got, err := back.HDBSCAN(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalWeight() != want.TotalWeight() {
+		t.Fatalf("restored MST weight %v != %v", got.TotalWeight(), want.TotalWeight())
+	}
+	wc, gc := want.ClustersAt(1.5), got.ClustersAt(1.5)
+	if wc.NumClusters != gc.NumClusters {
+		t.Fatalf("restored cluster count %d != %d", gc.NumClusters, wc.NumClusters)
+	}
+	for i := range wc.Labels {
+		if wc.Labels[i] != gc.Labels[i] {
+			t.Fatalf("restored label %d differs", i)
+		}
+	}
+}

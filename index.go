@@ -27,7 +27,40 @@ type IndexOptions struct {
 	// Metric is the distance kernel every query runs under
 	// (default MetricL2).
 	Metric Metric
+
+	// Float32 opts the Index into the float32 SoA fast path: the k-d tree
+	// carries a dimension-blocked float32 copy of the points and KNN, core
+	// distances, range queries, BCCP, and Borůvka run hand-unrolled lane
+	// scans over it. Exact float64 remains the default; see WithFloat32 and
+	// the precision contract in the package documentation.
+	Float32 bool
 }
+
+// WithFloat32 returns o (allocating one if nil) with the float32 fast path
+// enabled, so call sites can write
+// NewIndex(pts, parclust.WithFloat32()) or chain it onto existing options.
+//
+// Precision contract: pruning bounds stay exact float64, point-pair
+// distances are computed in float32 comparison space (squared Euclidean
+// for l2/sql2/angular; the metric itself for l1/linf) and widened to
+// float64 for every cross-candidate comparison, so results differ from the
+// float64 path only by float32 rounding of individual distances — bounded
+// relative error on MST weights and merge heights, and possible label
+// flips only for points whose assignment is decided at float32 resolution.
+// Coordinates must stay within metric.MaxAbsCoord32 (≈1.3e17 at dim 128);
+// NewIndex rejects the dataset otherwise, so squared-space accumulation
+// can never overflow to ±Inf.
+func (o *IndexOptions) WithFloat32() *IndexOptions {
+	if o == nil {
+		o = &IndexOptions{}
+	}
+	o.Float32 = true
+	return o
+}
+
+// WithFloat32 returns fresh IndexOptions with the float32 fast path
+// enabled and the default metric.
+func WithFloat32() *IndexOptions { return (&IndexOptions{}).WithFloat32() }
 
 // Index is a reusable, build-once/query-many handle over one immutable
 // point set: it decomposes the clustering pipeline into explicit stages —
@@ -95,15 +128,26 @@ func (ix *Index) SetBuildGate(gate func() (release func(), ok bool)) {
 // unit-normalized copy) and must not be mutated while the Index is in use.
 func NewIndex(pts Points, opts *IndexOptions) (*Index, error) {
 	m := MetricL2
+	f32 := false
 	if opts != nil {
 		m = opts.Metric
+		f32 = opts.Float32
 	}
 	prepared, kern, err := prepareMetric(pts, m)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{metric: m, eng: engine.New(prepared, kern)}, nil
+	ix := &Index{metric: m, eng: engine.New(prepared, kern)}
+	if f32 {
+		if err := ix.eng.EnableFloat32(); err != nil {
+			return nil, fmt.Errorf("parclust: %w", err)
+		}
+	}
+	return ix, nil
 }
+
+// Float32 reports whether the Index runs on the float32 fast path.
+func (ix *Index) Float32() bool { return ix.eng.Float32() }
 
 // N returns the number of indexed points.
 func (ix *Index) N() int { return ix.eng.Pts.N }
@@ -146,7 +190,11 @@ func (ix *Index) ApproxBytes() int64 {
 	pts := 8 * n * dim                      // caller's rows, retained by reference
 	tree := 8*n*dim + 2*n*(24*dim+64) + 8*n // kd-order copy + node slab/geometry + Orig/Inv
 	cache := 4*8*n + 2*24*n + 96*n          // core-distance sets + MSTs + dendrogram/cutter
-	return pts + tree + cache + ix.eng.CutCacheBytes() + 4096
+	var f32 int64
+	if ix.eng.Float32() {
+		f32 = 8 * n * dim // float32 row copy + SoA panels (4 bytes each)
+	}
+	return pts + tree + cache + f32 + ix.eng.CutCacheBytes() + 4096
 }
 
 // HDBSCAN returns the memoized HDBSCAN* hierarchy for minPts (default

@@ -268,11 +268,16 @@ type datasetInfo struct {
 	N      int    `json:"n"`
 	Dim    int    `json:"dim"`
 	Metric string `json:"metric"`
+	Dtype  string `json:"dtype,omitempty"`
 	Bytes  int64  `json:"bytes"`
 }
 
 func infoOf(d *dataset) datasetInfo {
-	return datasetInfo{Name: d.name, N: d.idx.N(), Dim: d.idx.Dim(), Metric: d.metric.String(), Bytes: d.bytes}
+	info := datasetInfo{Name: d.name, N: d.idx.N(), Dim: d.idx.Dim(), Metric: d.metric.String(), Bytes: d.bytes}
+	if d.idx.Float32() {
+		info.Dtype = "float32"
+	}
+	return info
 }
 
 // ---------------------------------------------------------------- params
@@ -414,8 +419,22 @@ func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (d *dataset, re
 // ---------------------------------------------------------------- upload
 
 type uploadRequest struct {
-	Metric string      `json:"metric"`
+	Metric string `json:"metric"`
+	// Dtype selects the numeric representation: "float64" (default, exact)
+	// or "float32" (SoA lane-scan fast path; see parclust.WithFloat32).
+	Dtype  string      `json:"dtype"`
 	Points [][]float64 `json:"points"`
+}
+
+// parseDtype maps the wire dtype to the Index float32 flag.
+func parseDtype(s string) (float32Mode bool, err error) {
+	switch s {
+	case "", "float64":
+		return false, nil
+	case "float32":
+		return true, nil
+	}
+	return false, fmt.Errorf("unknown dtype %q (want float64|float32)", s)
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
@@ -428,6 +447,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	defer body.Close()
 
 	metricName := r.URL.Query().Get("metric")
+	dtypeName := r.URL.Query().Get("dtype")
 	var pts parclust.Points
 	if strings.Contains(r.Header.Get("Content-Type"), "json") {
 		var req uploadRequest
@@ -451,6 +471,9 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		if req.Metric != "" {
 			metricName = req.Metric
 		}
+		if req.Dtype != "" {
+			dtypeName = req.Dtype
+		}
 	} else {
 		var err error
 		pts, err = dataio.ReadPoints(body, name)
@@ -469,7 +492,12 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	idx, err := parclust.NewIndex(pts, &parclust.IndexOptions{Metric: m})
+	f32, err := parseDtype(dtypeName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	idx, err := parclust.NewIndex(pts, &parclust.IndexOptions{Metric: m, Float32: f32})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -561,7 +589,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		if s.st != nil && validName(name) {
 			if hdr, err := s.st.ReadHeaderFile(name); err == nil {
 				writeJSON(w, http.StatusOK, map[string]any{
-					"dataset": datasetInfo{Name: name, N: hdr.N, Dim: hdr.Dim, Metric: hdr.Metric},
+					"dataset": datasetInfo{Name: name, N: hdr.N, Dim: hdr.Dim, Metric: hdr.Metric, Dtype: hdr.Dtype},
 					"cold":    true,
 				})
 				return

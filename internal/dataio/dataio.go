@@ -90,7 +90,9 @@ func WriteCSV(path string, pts geometry.Points) error {
 }
 
 // LoadOrGenerate loads points from path when non-empty, and otherwise runs
-// the named synthetic generator (uniform | varden | mixture | geolife).
+// the named synthetic generator (uniform | varden | mixture | geolife |
+// embed). embed produces unit-norm embedding-like vectors (a Gaussian
+// mixture of direction clusters on the unit sphere; dim 2..512).
 func LoadOrGenerate(path, kind string, n, dim int, seed int64) (geometry.Points, error) {
 	if path != "" {
 		return LoadCSV(path)
@@ -104,6 +106,11 @@ func LoadOrGenerate(path, kind string, n, dim int, seed int64) (geometry.Points,
 		return generator.GaussianMixture(n, dim, 10, seed), nil
 	case "geolife":
 		return generator.GeoLifeLike(n, seed), nil
+	case "embed":
+		if dim < 2 || dim > generator.EmbedMaxDim {
+			return geometry.Points{}, fmt.Errorf("embed generator needs 2 <= dim <= %d, got %d", generator.EmbedMaxDim, dim)
+		}
+		return generator.Embed(n, dim, 16, seed), nil
 	default:
 		return geometry.Points{}, fmt.Errorf("unknown generator %q", kind)
 	}

@@ -273,6 +273,11 @@ type Engine struct {
 	// reflect (0: none). Guarded by buildMu.
 	annotated int
 
+	// f32 selects the float32 SoA fast path for every tree the engine
+	// builds (or seeds). Set once via EnableFloat32 before the engine is
+	// shared; read-only afterwards.
+	f32 bool
+
 	// cutBytes is the resident size of all stages' cut-result caches.
 	cutBytes atomic.Int64
 
@@ -310,6 +315,35 @@ func New(pts geometry.Points, kern metric.Metric) *Engine {
 		hiers:    make(map[mstKey]*HierStage),
 	}
 }
+
+// EnableFloat32 opts the engine into the float32 SoA representation:
+// every tree it builds from now on carries the lane-scan fast path, and an
+// already-built (or seeded) tree is converted in place. Call before the
+// engine is shared with queries — the flag itself is not synchronized for
+// mid-flight toggling. Fails (leaving the engine on the float64 path) if
+// the kernel has no float32 family or a coordinate exceeds the float32
+// magnitude bound.
+func (e *Engine) EnableFloat32() error {
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	e.regMu.RLock()
+	t := e.tree
+	e.regMu.RUnlock()
+	if t != nil {
+		if err := t.EnableFloat32(); err != nil {
+			return err
+		}
+	} else if _, ok := metric.Kernel32For(e.Kern); !ok {
+		return fmt.Errorf("engine: metric %q has no float32 kernel", e.Kern.Name())
+	} else if err := metric.ValidateRows32(e.Pts); err != nil {
+		return err
+	}
+	e.f32 = true
+	return nil
+}
+
+// Float32 reports whether the engine runs on the float32 fast path.
+func (e *Engine) Float32() bool { return e.f32 }
 
 // Stage families of the singleflight table.
 const (
@@ -514,6 +548,13 @@ func (e *Engine) treeLocked(af *abort.Flag, stats *mst.Stats) *kdtree.Tree {
 		// Leaf size 1 is required by the WSPD construction and serves every
 		// other stage and query.
 		t = kdtree.BuildMetricCancel(e.Pts, 1, e.Kern, af)
+		if e.f32 {
+			// EnableFloat32 validated the points and kernel up front, so
+			// this can fail only on internal inconsistency.
+			if err := t.EnableFloat32(); err != nil {
+				panic(fmt.Sprintf("engine: float32 attach failed after validation: %v", err))
+			}
+		}
 	})
 	e.c.treeBuilds.Add(1)
 	e.regMu.Lock()

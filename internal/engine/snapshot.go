@@ -71,7 +71,11 @@ func (e *Engine) SeedStages(s StageSet) {
 	e.regMu.Lock()
 	defer e.regMu.Unlock()
 	if e.tree == nil && s.Tree != nil {
-		e.tree = s.Tree
+		if !e.f32 || s.Tree.EnableFloat32() == nil {
+			e.tree = s.Tree
+		}
+		// On a (theoretical) float32 attach failure the tree seed is simply
+		// dropped; the next query rebuilds it cold.
 	}
 	for mp, cd := range s.Cores {
 		if _, ok := e.cores[mp]; !ok && cd != nil {

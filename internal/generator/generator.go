@@ -150,6 +150,67 @@ func GaussianMixture(n, dim, k int, seed int64) geometry.Points {
 	return pts
 }
 
+// EmbedMaxDim bounds the dimensionality of Embed: high-dimensional
+// embedding workloads top out at 512 here, matching common learned-vector
+// sizes.
+const EmbedMaxDim = 512
+
+// Embed generates n unit-norm embedding-like vectors in dim dimensions
+// (2 <= dim <= EmbedMaxDim): a Gaussian mixture of k direction clusters on
+// the unit sphere. Each cluster is an isotropic Gaussian around a uniformly
+// random unit direction with a per-cluster variance spread over roughly a
+// decade, re-projected onto the sphere — the shape of learned text/image
+// embeddings, where clusters are cones of directions at varying tightness.
+// Panics on out-of-range dim or k < 1; deterministic given seed.
+func Embed(n, dim, k int, seed int64) geometry.Points {
+	if dim < 2 || dim > EmbedMaxDim {
+		panic("generator: Embed dim out of range [2, 512]")
+	}
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, k)
+	sigma := make([]float64, k)
+	for c := range centers {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		normalizeRow(v)
+		centers[c] = v
+		// Per-cluster angular spread from tight (~0.03) to diffuse (~0.3).
+		sigma[c] = 0.03 * math.Pow(10, rng.Float64())
+	}
+	pts := geometry.NewPoints(n, dim)
+	for i := 0; i < n; i++ {
+		c := rng.Intn(k)
+		row := pts.Data[i*dim : (i+1)*dim]
+		for j := range row {
+			row[j] = centers[c][j] + rng.NormFloat64()*sigma[c]
+		}
+		normalizeRow(row)
+	}
+	return pts
+}
+
+// normalizeRow scales v to unit L2 norm (the zero vector, unreachable with
+// probability 1, becomes the first basis vector).
+func normalizeRow(v []float64) {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	if s == 0 {
+		v[0] = 1
+		return
+	}
+	inv := 1 / math.Sqrt(s)
+	for j := range v {
+		v[j] *= inv
+	}
+}
+
 // Dataset is a named generated workload mirroring one row of the paper's
 // tables.
 type Dataset struct {

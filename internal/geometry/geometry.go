@@ -233,6 +233,33 @@ func SqDistBoxes(a, b Box) float64 {
 	return s
 }
 
+// SqDistBoxesBounded is SqDistBoxes with an early exit: the scan stops as
+// soon as the partial sum reaches bound. The result is exact when it is
+// below bound; a result >= bound only certifies that the true squared box
+// distance is >= bound, so callers may use it solely for threshold tests
+// against bound. In high dimension most candidate pairs fail their pruning
+// threshold within the first few coordinates, making this much cheaper
+// than the full scan on traversal-heavy workloads.
+func SqDistBoxesBounded(a, b Box, bound float64) float64 {
+	var s float64
+	for k := range a.Lo {
+		var d float64
+		switch {
+		case b.Lo[k] > a.Hi[k]:
+			d = b.Lo[k] - a.Hi[k]
+		case a.Lo[k] > b.Hi[k]:
+			d = a.Lo[k] - b.Hi[k]
+		default:
+			continue
+		}
+		s += d * d
+		if s >= bound {
+			return s
+		}
+	}
+	return s
+}
+
 // SqMaxDistBoxes returns the squared maximum distance between any two points
 // of the two boxes.
 func SqMaxDistBoxes(a, b Box) float64 {
@@ -243,6 +270,24 @@ func SqMaxDistBoxes(a, b Box) float64 {
 			d = 0
 		}
 		s += d * d
+	}
+	return s
+}
+
+// SqMaxDistBoxesBounded is SqMaxDistBoxes with the same early-exit
+// contract as SqDistBoxesBounded: exact below bound, and >= bound only
+// certifies the true squared max distance is >= bound.
+func SqMaxDistBoxesBounded(a, b Box, bound float64) float64 {
+	var s float64
+	for k := range a.Lo {
+		d := math.Max(a.Hi[k]-b.Lo[k], b.Hi[k]-a.Lo[k])
+		if d < 0 {
+			d = 0
+		}
+		s += d * d
+		if s >= bound {
+			return s
+		}
 	}
 	return s
 }

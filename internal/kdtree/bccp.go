@@ -25,12 +25,16 @@ type BCCPResult struct {
 func BCCP(t *Tree, m Metric, a, b *Node) BCCPResult {
 	if _, ok := m.(Euclidean); ok {
 		best := BCCPResult{U: -1, V: -1, W: math.Inf(1)}
-		bccpL2(t, t.sqKern, a, b, &best)
+		if t.f32 != nil && t.f32.Kern.Sq {
+			bccpSq32(t, a, b, geometry.SqDistBoxes(a.Box, b.Box), &best)
+		} else {
+			bccpL2(t, t.sqKern, a, b, geometry.SqDistBoxes(a.Box, b.Box), &best)
+		}
 		best.W = math.Sqrt(best.W)
 		return best
 	}
 	best := BCCPResult{U: -1, V: -1, W: math.Inf(1)}
-	bccp(t, m, a, b, &best)
+	bccp(t, m, a, b, m.NodeLB(a, b), &best)
 	return best
 }
 
@@ -44,18 +48,28 @@ func BCCP(t *Tree, m Metric, a, b *Node) BCCPResult {
 func BCCPSq(t *Tree, cd []float64, a, b *Node) BCCPResult {
 	best := BCCPResult{U: -1, V: -1, W: math.Inf(1)}
 	if cd == nil {
-		bccpL2(t, t.sqKern, a, b, &best)
+		if t.f32 != nil && t.f32.Kern.Sq {
+			bccpSq32(t, a, b, geometry.SqDistBoxes(a.Box, b.Box), &best)
+		} else {
+			bccpL2(t, t.sqKern, a, b, geometry.SqDistBoxes(a.Box, b.Box), &best)
+		}
 		return best
 	}
-	bccpMutSq(t, cd, a, b, &best)
+	if t.f32 != nil && t.f32.Kern.Sq {
+		bccpMutSq32(t, cd, a, b, sqMutNodeLB(a, b), &best)
+	} else {
+		bccpMutSq(t, cd, a, b, sqMutNodeLB(a, b), &best)
+	}
 	return best
 }
 
 // bccpMutSq is bccpL2 under squared mutual reachability: leaf weights are
 // max{d², cd[p]², cd[q]²} and pruning uses the squared node lower bound
-// max{boxdist², cdmin²}.
-func bccpMutSq(t *Tree, cd []float64, a, b *Node, best *BCCPResult) {
-	if sqMutNodeLB(a, b) >= best.W {
+// max{boxdist², cdmin²}. lb is sqMutNodeLB(a, b), computed by the caller —
+// the parent already evaluated it to order the child descent, so passing
+// it down halves the O(dim) bound evaluations of the traversal.
+func bccpMutSq(t *Tree, cd []float64, a, b *Node, lb float64, best *BCCPResult) {
+	if lb >= best.W {
 		return
 	}
 	if a.IsLeaf() && b.IsLeaf() {
@@ -90,11 +104,11 @@ func bccpMutSq(t *Tree, cd []float64, a, b *Node, best *BCCPResult) {
 		d1 := sqMutNodeLB(al, b)
 		d2 := sqMutNodeLB(ar, b)
 		if d1 <= d2 {
-			bccpMutSq(t, cd, al, b, best)
-			bccpMutSq(t, cd, ar, b, best)
+			bccpMutSq(t, cd, al, b, d1, best)
+			bccpMutSq(t, cd, ar, b, d2, best)
 		} else {
-			bccpMutSq(t, cd, ar, b, best)
-			bccpMutSq(t, cd, al, b, best)
+			bccpMutSq(t, cd, ar, b, d2, best)
+			bccpMutSq(t, cd, al, b, d1, best)
 		}
 		return
 	}
@@ -102,11 +116,11 @@ func bccpMutSq(t *Tree, cd []float64, a, b *Node, best *BCCPResult) {
 	d1 := sqMutNodeLB(a, bl)
 	d2 := sqMutNodeLB(a, br)
 	if d1 <= d2 {
-		bccpMutSq(t, cd, a, bl, best)
-		bccpMutSq(t, cd, a, br, best)
+		bccpMutSq(t, cd, a, bl, d1, best)
+		bccpMutSq(t, cd, a, br, d2, best)
 	} else {
-		bccpMutSq(t, cd, a, br, best)
-		bccpMutSq(t, cd, a, bl, best)
+		bccpMutSq(t, cd, a, br, d2, best)
+		bccpMutSq(t, cd, a, bl, d1, best)
 	}
 }
 
@@ -129,6 +143,42 @@ func sqMutNodeLB(a, b *Node) float64 {
 // MST package's monomorphized traversals.
 func SqMutNodeLB(a, b *Node) float64 { return sqMutNodeLB(a, b) }
 
+// SqMutNodeLBBounded is SqMutNodeLB with an early exit once the bound is
+// reached (see geometry.SqDistBoxesBounded): the result is exact below
+// bound and otherwise only certifies lb >= bound. The core-distance term
+// is O(1) and checked first, so far-apart node pairs skip most of the
+// O(dim) box scan.
+func SqMutNodeLBBounded(a, b *Node, bound float64) float64 {
+	c := a.CDMin
+	if b.CDMin > c {
+		c = b.CDMin
+	}
+	c2 := c * c
+	if c2 >= bound {
+		return c2
+	}
+	if s := geometry.SqDistBoxesBounded(a.Box, b.Box, bound); s > c2 {
+		return s
+	}
+	return c2
+}
+
+// SqMutNodeUBBounded is SqMutNodeUB with the same early-exit contract.
+func SqMutNodeUBBounded(a, b *Node, bound float64) float64 {
+	c := a.CDMax
+	if b.CDMax > c {
+		c = b.CDMax
+	}
+	c2 := c * c
+	if c2 >= bound {
+		return c2
+	}
+	if s := geometry.SqMaxDistBoxesBounded(a.Box, b.Box, bound); s > c2 {
+		return s
+	}
+	return c2
+}
+
 // SqMutNodeUB is the squared mutual-reachability node upper bound
 // max{boxmaxdist², max(CDMax)²}.
 func SqMutNodeUB(a, b *Node) float64 {
@@ -145,9 +195,10 @@ func SqMutNodeUB(a, b *Node) float64 {
 
 // bccpL2 mirrors bccp for the Euclidean metric with best.W held in squared
 // space; squaring is monotone, so the traversal order and the resulting
-// pair match the generic traversal exactly.
-func bccpL2(t *Tree, kern func(a, b []float64) float64, a, b *Node, best *BCCPResult) {
-	if geometry.SqDistBoxes(a.Box, b.Box) >= best.W {
+// pair match the generic traversal exactly. lb is the squared box distance
+// of (a, b), already computed by the caller for child ordering.
+func bccpL2(t *Tree, kern func(a, b []float64) float64, a, b *Node, lb float64, best *BCCPResult) {
+	if lb >= best.W {
 		return
 	}
 	if a.IsLeaf() && b.IsLeaf() {
@@ -173,11 +224,11 @@ func bccpL2(t *Tree, kern func(a, b []float64) float64, a, b *Node, best *BCCPRe
 		d1 := geometry.SqDistBoxes(al.Box, b.Box)
 		d2 := geometry.SqDistBoxes(ar.Box, b.Box)
 		if d1 <= d2 {
-			bccpL2(t, kern, al, b, best)
-			bccpL2(t, kern, ar, b, best)
+			bccpL2(t, kern, al, b, d1, best)
+			bccpL2(t, kern, ar, b, d2, best)
 		} else {
-			bccpL2(t, kern, ar, b, best)
-			bccpL2(t, kern, al, b, best)
+			bccpL2(t, kern, ar, b, d2, best)
+			bccpL2(t, kern, al, b, d1, best)
 		}
 		return
 	}
@@ -185,16 +236,16 @@ func bccpL2(t *Tree, kern func(a, b []float64) float64, a, b *Node, best *BCCPRe
 	d1 := geometry.SqDistBoxes(a.Box, bl.Box)
 	d2 := geometry.SqDistBoxes(a.Box, br.Box)
 	if d1 <= d2 {
-		bccpL2(t, kern, a, bl, best)
-		bccpL2(t, kern, a, br, best)
+		bccpL2(t, kern, a, bl, d1, best)
+		bccpL2(t, kern, a, br, d2, best)
 	} else {
-		bccpL2(t, kern, a, br, best)
-		bccpL2(t, kern, a, bl, best)
+		bccpL2(t, kern, a, br, d2, best)
+		bccpL2(t, kern, a, bl, d1, best)
 	}
 }
 
-func bccp(t *Tree, m Metric, a, b *Node, best *BCCPResult) {
-	if m.NodeLB(a, b) >= best.W {
+func bccp(t *Tree, m Metric, a, b *Node, lb float64, best *BCCPResult) {
+	if lb >= best.W {
 		return
 	}
 	if a.IsLeaf() && b.IsLeaf() {
@@ -217,11 +268,11 @@ func bccp(t *Tree, m Metric, a, b *Node, best *BCCPResult) {
 		d1 := m.NodeLB(al, b)
 		d2 := m.NodeLB(ar, b)
 		if d1 <= d2 {
-			bccp(t, m, al, b, best)
-			bccp(t, m, ar, b, best)
+			bccp(t, m, al, b, d1, best)
+			bccp(t, m, ar, b, d2, best)
 		} else {
-			bccp(t, m, ar, b, best)
-			bccp(t, m, al, b, best)
+			bccp(t, m, ar, b, d2, best)
+			bccp(t, m, al, b, d1, best)
 		}
 		return
 	}
@@ -229,10 +280,10 @@ func bccp(t *Tree, m Metric, a, b *Node, best *BCCPResult) {
 	d1 := m.NodeLB(a, bl)
 	d2 := m.NodeLB(a, br)
 	if d1 <= d2 {
-		bccp(t, m, a, bl, best)
-		bccp(t, m, a, br, best)
+		bccp(t, m, a, bl, d1, best)
+		bccp(t, m, a, br, d2, best)
 	} else {
-		bccp(t, m, a, br, best)
-		bccp(t, m, a, bl, best)
+		bccp(t, m, a, br, d2, best)
+		bccp(t, m, a, bl, d1, best)
 	}
 }

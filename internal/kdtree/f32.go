@@ -1,0 +1,403 @@
+package kdtree
+
+import (
+	"fmt"
+
+	"parclust/internal/geometry"
+	"parclust/internal/metric"
+	"parclust/internal/parallel"
+)
+
+// F32ScanMax is both the SoA panel block size and the subtree size at
+// which float32 traversals stop descending and lane-scan the node's
+// contiguous kd-range instead. The engine builds trees with leafSize 1
+// (the WSPD construction requires it), so blocking by leaf would yield
+// single-element panels; fixed 32-position blocks over the kd-order
+// permutation give every scan contiguous same-dimension lanes regardless
+// of leaf granularity.
+const F32ScanMax = 32
+
+// F32 is the opt-in float32 representation of a tree's points: a row-major
+// copy (for query vectors and row-row kernels) plus dimension-blocked SoA
+// panels over the kd-order permutation, so a block's coordinates for one
+// dimension are contiguous. Built once by Tree.EnableFloat32; immutable
+// afterwards.
+type F32 struct {
+	// Kern is the float32 kernel family of the tree's metric.
+	Kern metric.Kernel32
+
+	// rows is the row-major float32 copy of Tree.Pts (kd-order).
+	rows []float32
+
+	// panels holds ceil(n/F32ScanMax) blocks; block g stores the
+	// coordinates of kd positions [g*F32ScanMax, (g+1)*F32ScanMax) as dim
+	// contiguous lanes of F32ScanMax values each:
+	// panels[(g*dim+k)*F32ScanMax + j] = coordinate k of position g*F32ScanMax+j.
+	// The tail block is zero-padded; scans never read past their hi bound.
+	panels []float32
+
+	dim int
+}
+
+// EnableFloat32 attaches the float32 SoA representation to the tree,
+// after which KNN, CoreDistances, range queries, BCCP, and Borůvka
+// nearest-outside all take the float32 scan path. It fails if the tree's
+// metric has no float32 kernel or any coordinate exceeds the float32
+// magnitude bound (metric.MaxAbsCoord32); the tree is unchanged on error.
+// Not safe to call concurrently with queries: enable before sharing the
+// tree. Idempotent.
+func (t *Tree) EnableFloat32() error {
+	if t.f32 != nil {
+		return nil
+	}
+	k32, ok := metric.Kernel32For(t.M)
+	if !ok {
+		return fmt.Errorf("kdtree: metric %q has no float32 kernel", t.M.Name())
+	}
+	if err := metric.ValidateRows32(t.Pts); err != nil {
+		return err
+	}
+	n, dim := t.Pts.N, t.Pts.Dim
+	f := &F32{Kern: k32, dim: dim}
+	if n > 0 {
+		f.rows = make([]float32, n*dim)
+		data := t.Pts.Data
+		parallel.ForRange(n*dim, 1<<15, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				f.rows[i] = float32(data[i])
+			}
+		})
+		nb := (n + F32ScanMax - 1) / F32ScanMax
+		f.panels = make([]float32, nb*dim*F32ScanMax)
+		parallel.For(nb, 8, func(g int) {
+			base := g * F32ScanMax
+			end := base + F32ScanMax
+			if end > n {
+				end = n
+			}
+			po := g * dim * F32ScanMax
+			for p := base; p < end; p++ {
+				row := f.rows[p*dim : (p+1)*dim]
+				j := p - base
+				for k, v := range row {
+					f.panels[po+k*F32ScanMax+j] = v
+				}
+			}
+		})
+	}
+	t.f32 = f
+	return nil
+}
+
+// F32 returns the tree's float32 representation, or nil when the float64
+// default is in effect.
+func (t *Tree) F32() *F32 { return t.f32 }
+
+// Row returns the float32 coordinate row of kd-order position p.
+func (f *F32) Row(p int32) []float32 {
+	r := int(p) * f.dim
+	return f.rows[r : r+f.dim : r+f.dim]
+}
+
+// ScanInto computes comparison-space distances from the query row q32 to
+// the kd positions [lo, hi), writing them to dst[0:hi-lo]. hi-lo must be
+// at most F32ScanMax (a range that size spans at most two panel blocks).
+// The accumulation walks dimension lanes: for each of the dim lanes it
+// folds F32ScanMax-contiguous same-dimension coordinates into the
+// accumulators, so the inner loop is a branch-free independent-iteration
+// pass the compiler can keep in registers (and vectorize under GOAMD64=v3).
+func (f *F32) ScanInto(dst []float32, lo, hi int32, q32 []float32) {
+	cnt := int(hi - lo)
+	dst = dst[:cnt]
+	for i := range dst {
+		dst[i] = 0
+	}
+	op := f.Kern.Op
+	dim := f.dim
+	base := 0
+	for s := lo; s < hi; {
+		g := int(s) / F32ScanMax
+		j0 := int(s) % F32ScanMax
+		j1 := j0 + int(hi-s)
+		if j1 > F32ScanMax {
+			j1 = F32ScanMax
+		}
+		po := g * dim * F32ScanMax
+		acc := dst[base : base+(j1-j0)]
+		// Direct calls per lane op: an indirect call through a func value
+		// would make escape analysis leak acc, forcing callers' stack scan
+		// buffers to the heap (see metric.LaneOp).
+		switch op {
+		case metric.LaneSq:
+			for k := 0; k < dim; k++ {
+				off := po + k*F32ScanMax
+				metric.SqLane32(acc, f.panels[off+j0:off+j1], q32[k])
+			}
+		case metric.LaneL1:
+			for k := 0; k < dim; k++ {
+				off := po + k*F32ScanMax
+				metric.L1Lane32(acc, f.panels[off+j0:off+j1], q32[k])
+			}
+		case metric.LaneLInf:
+			for k := 0; k < dim; k++ {
+				off := po + k*F32ScanMax
+				metric.LInfLane32(acc, f.panels[off+j0:off+j1], q32[k])
+			}
+		}
+		base += j1 - j0
+		s += int32(j1 - j0)
+	}
+}
+
+// scannable32 reports that the float32 traversal should stop descending at
+// n and lane-scan its kd-range instead (leaves of any size qualify: they
+// cannot be split further).
+func scannable32(n *Node) bool { return n.IsLeaf() || n.Size() <= F32ScanMax }
+
+// knn32 is the float32 traversal: exact float64 comparison-space box
+// bounds prune subtrees, and once a subtree fits F32ScanMax positions its
+// contiguous kd-range is lane-scanned through the SoA panels. Heap keys
+// are float64-widened comparison-space distances, so cross-candidate
+// ordering and tie-breaking are exact over the float32-rounded values.
+func (t *Tree) knn32(n *Node, qc []float64, q32 []float32, h *knnHeap) {
+	if n == nil {
+		return
+	}
+	if scannable32(n) {
+		t.scanKNN32(n.Lo, n.Hi, q32, h)
+		return
+	}
+	f := t.f32
+	left, right := t.LeftOf(n), t.RightOf(n)
+	dl := f.Kern.PointBoxLB(qc, left.Box)
+	dr := f.Kern.PointBoxLB(qc, right.Box)
+	first, second := left, right
+	df, ds := dl, dr
+	if dr < dl {
+		first, second = right, left
+		df, ds = dr, dl
+	}
+	if df < h.worst() {
+		t.knn32(first, qc, q32, h)
+	}
+	if ds < h.worst() {
+		t.knn32(second, qc, q32, h)
+	}
+}
+
+// scanKNN32 lane-scans kd positions [lo, hi) (chunked to F32ScanMax) and
+// pushes every distance; the bounded heap evicts in O(log k). The scratch
+// buffer is a stack array, so the scan allocates nothing.
+func (t *Tree) scanKNN32(lo, hi int32, q32 []float32, h *knnHeap) {
+	var buf [F32ScanMax]float32
+	f := t.f32
+	for s := lo; s < hi; {
+		e := s + F32ScanMax
+		if e > hi {
+			e = hi
+		}
+		f.ScanInto(buf[:], s, e, q32)
+		for j := int32(0); j < e-s; j++ {
+			h.push(s+j, float64(buf[j]))
+		}
+		s = e
+	}
+}
+
+// rangeQuery32 mirrors rangeQuery with the comparison-space radius cr and
+// lane scans at the cutoff.
+func (t *Tree) rangeQuery32(n *Node, qc []float64, q32 []float32, cr float64, out *[]int32) {
+	if n == nil {
+		return
+	}
+	f := t.f32
+	if f.Kern.PointBoxLB(qc, n.Box) > cr {
+		return
+	}
+	if scannable32(n) {
+		var buf [F32ScanMax]float32
+		for s := n.Lo; s < n.Hi; {
+			e := s + F32ScanMax
+			if e > n.Hi {
+				e = n.Hi
+			}
+			f.ScanInto(buf[:], s, e, q32)
+			for j := int32(0); j < e-s; j++ {
+				if float64(buf[j]) <= cr {
+					*out = append(*out, t.Orig[s+j])
+				}
+			}
+			s = e
+		}
+		return
+	}
+	t.rangeQuery32(t.LeftOf(n), qc, q32, cr, out)
+	t.rangeQuery32(t.RightOf(n), qc, q32, cr, out)
+}
+
+// rangeCount32 mirrors rangeCount. The wholesale-inside test uses the
+// exact float64 upper bound, so a fully-inside subtree is counted without
+// scanning; per-point predicates use the float32-rounded distances, so
+// counts can differ from the float64 path for points exactly on the ball
+// boundary at float32 resolution (the documented precision contract).
+func (t *Tree) rangeCount32(n *Node, qc []float64, q32 []float32, cr float64) int {
+	if n == nil {
+		return 0
+	}
+	f := t.f32
+	if f.Kern.PointBoxLB(qc, n.Box) > cr {
+		return 0
+	}
+	if f.Kern.PointBoxUB(qc, n.Box) <= cr {
+		return n.Size() // whole subtree inside the ball
+	}
+	if scannable32(n) {
+		var buf [F32ScanMax]float32
+		cnt := 0
+		for s := n.Lo; s < n.Hi; {
+			e := s + F32ScanMax
+			if e > n.Hi {
+				e = n.Hi
+			}
+			f.ScanInto(buf[:], s, e, q32)
+			for j := int32(0); j < e-s; j++ {
+				if float64(buf[j]) <= cr {
+					cnt++
+				}
+			}
+			s = e
+		}
+		return cnt
+	}
+	return t.rangeCount32(t.LeftOf(n), qc, q32, cr) + t.rangeCount32(t.RightOf(n), qc, q32, cr)
+}
+
+// bccpSq32 is bccpL2 over the float32 panels: exact squared box bounds
+// prune, and node pairs that both fit the scan cutoff take a lane-scanned
+// all-pairs pass. best.W stays in squared space. lb is the squared box
+// distance of (a, b), computed by the caller for child ordering, so each
+// node pair evaluates its O(dim) bound exactly once.
+func bccpSq32(t *Tree, a, b *Node, lb float64, best *BCCPResult) {
+	if lb >= best.W {
+		return
+	}
+	if scannable32(a) && scannable32(b) {
+		scanBCCP32(t, nil, a, b, best)
+		return
+	}
+	if scannable32(b) || (!scannable32(a) && a.Radius >= b.Radius) {
+		al, ar := t.LeftOf(a), t.RightOf(a)
+		d1 := geometry.SqDistBoxes(al.Box, b.Box)
+		d2 := geometry.SqDistBoxes(ar.Box, b.Box)
+		if d1 <= d2 {
+			bccpSq32(t, al, b, d1, best)
+			bccpSq32(t, ar, b, d2, best)
+		} else {
+			bccpSq32(t, ar, b, d2, best)
+			bccpSq32(t, al, b, d1, best)
+		}
+		return
+	}
+	bl, br := t.LeftOf(b), t.RightOf(b)
+	d1 := geometry.SqDistBoxes(a.Box, bl.Box)
+	d2 := geometry.SqDistBoxes(a.Box, br.Box)
+	if d1 <= d2 {
+		bccpSq32(t, a, bl, d1, best)
+		bccpSq32(t, a, br, d2, best)
+	} else {
+		bccpSq32(t, a, br, d2, best)
+		bccpSq32(t, a, bl, d1, best)
+	}
+}
+
+// bccpMutSq32 is bccpMutSq over the float32 panels: squared mutual
+// reachability max{d², cd[p]², cd[q]²} with the exact squared node lower
+// bound, lane scans at the cutoff. lb is sqMutNodeLB(a, b) from the caller.
+func bccpMutSq32(t *Tree, cd []float64, a, b *Node, lb float64, best *BCCPResult) {
+	if lb >= best.W {
+		return
+	}
+	if scannable32(a) && scannable32(b) {
+		scanBCCP32(t, cd, a, b, best)
+		return
+	}
+	if scannable32(b) || (!scannable32(a) && a.Radius >= b.Radius) {
+		al, ar := t.LeftOf(a), t.RightOf(a)
+		d1 := sqMutNodeLB(al, b)
+		d2 := sqMutNodeLB(ar, b)
+		if d1 <= d2 {
+			bccpMutSq32(t, cd, al, b, d1, best)
+			bccpMutSq32(t, cd, ar, b, d2, best)
+		} else {
+			bccpMutSq32(t, cd, ar, b, d2, best)
+			bccpMutSq32(t, cd, al, b, d1, best)
+		}
+		return
+	}
+	bl, br := t.LeftOf(b), t.RightOf(b)
+	d1 := sqMutNodeLB(a, bl)
+	d2 := sqMutNodeLB(a, br)
+	if d1 <= d2 {
+		bccpMutSq32(t, cd, a, bl, d1, best)
+		bccpMutSq32(t, cd, a, br, d2, best)
+	} else {
+		bccpMutSq32(t, cd, a, br, d2, best)
+		bccpMutSq32(t, cd, a, bl, d1, best)
+	}
+}
+
+// scanBCCP32 runs the all-pairs pass between the kd-ranges of a and b:
+// each point of a is lane-scanned against b's panels in F32ScanMax chunks.
+// cd nil selects plain squared distance; otherwise squared mutual
+// reachability. Distances widen to float64 before any comparison against
+// best.W, keeping pair selection deterministic.
+func scanBCCP32(t *Tree, cd []float64, a, b *Node, best *BCCPResult) {
+	f := t.f32
+	var buf [F32ScanMax]float32
+	for p := a.Lo; p < a.Hi; p++ {
+		q32 := f.Row(p)
+		var cp2 float64
+		if cd != nil {
+			cp2 = cd[p] * cd[p]
+		}
+		for s := b.Lo; s < b.Hi; {
+			e := s + F32ScanMax
+			if e > b.Hi {
+				e = b.Hi
+			}
+			f.ScanInto(buf[:], s, e, q32)
+			for j := int32(0); j < e-s; j++ {
+				q := s + j
+				if q == p {
+					continue
+				}
+				w := float64(buf[j])
+				if cd != nil {
+					if cp2 > w {
+						w = cp2
+					}
+					if cq2 := cd[q] * cd[q]; cq2 > w {
+						w = cq2
+					}
+				}
+				if w < best.W {
+					*best = BCCPResult{U: p, V: q, W: w}
+				}
+			}
+			s = e
+		}
+	}
+}
+
+// coreDist32 computes the core distance of the point at kd position p on
+// the float32 path, reusing the caller's heap.
+func (t *Tree) coreDist32(p int, minPts int, h *knnHeap) float64 {
+	h.reset(minPts)
+	dim := t.Pts.Dim
+	qc := t.Pts.Data[p*dim : (p+1)*dim : (p+1)*dim]
+	t.knn32(t.Root, qc, t.f32.Row(int32(p)), h)
+	if len(h.sq) == 0 {
+		return 0
+	}
+	return t.f32.Kern.Finish(h.sq[0])
+}

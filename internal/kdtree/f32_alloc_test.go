@@ -1,0 +1,71 @@
+package kdtree
+
+import "testing"
+
+// Allocation pins for the float32 fast paths: the SoA panel scans
+// accumulate into fixed-size stack buffers and the comparison-space heap
+// keys are plain float64s, so steady-state queries must stay off the heap
+// exactly like their float64 counterparts.
+
+func TestF32KNNIntoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc pins run without -race")
+	}
+	pts := randPoints(2000, 16, 31)
+	tr := Build(pts, 1)
+	if err := tr.EnableFloat32(); err != nil {
+		t.Fatal(err)
+	}
+	var ws KNNWorkspace
+	tr.KNNInto(0, 10, &ws) // warm up: grows the heap and result buffers
+	q := int32(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		q = (q + 17) % int32(pts.N)
+		tr.KNNInto(q, 10, &ws)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state float32 KNNInto allocated %v times, want 0", allocs)
+	}
+}
+
+func TestF32RangeQueryAppendAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc pins run without -race")
+	}
+	pts := randPoints(2000, 16, 32)
+	tr := Build(pts, 1)
+	if err := tr.EnableFloat32(); err != nil {
+		t.Fatal(err)
+	}
+	buf := tr.RangeQueryAppend(0, 150, nil)
+	q := int32(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		q = (q + 13) % int32(pts.N)
+		buf = tr.RangeQueryAppend(q, 120, buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state float32 RangeQueryAppend allocated %v times, want 0", allocs)
+	}
+}
+
+// TestF32BCCPSqAllocs pins the lane-scanned BCCP traversal: pruning bounds
+// are exact float64 box distances and the all-pairs scan runs over stack
+// buffers, so a node-pair query performs no heap allocation at all.
+func TestF32BCCPSqAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc pins run without -race")
+	}
+	pts := randPoints(1024, 16, 33)
+	tr := Build(pts, 1)
+	if err := tr.EnableFloat32(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := tr.LeftOf(tr.Root), tr.RightOf(tr.Root)
+	if res := BCCPSq(tr, nil, a, b); res.U < 0 { // warm up and sanity check
+		t.Fatal("BCCPSq found no pair")
+	}
+	allocs := testing.AllocsPerRun(20, func() { BCCPSq(tr, nil, a, b) })
+	if allocs != 0 {
+		t.Fatalf("float32 BCCPSq allocated %v times, want 0", allocs)
+	}
+}

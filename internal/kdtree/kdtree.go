@@ -104,6 +104,10 @@ type Tree struct {
 	l2     bool // M is plain Euclidean: queries take the squared-distance fast paths
 	sqKern func(a, b []float64) float64
 
+	// f32 is the opt-in float32 SoA representation (nil by default); when
+	// set, queries take the lane-scan fast paths. See EnableFloat32.
+	f32 *F32
+
 	// af is the build-time cancellation flag (nil outside BuildMetricCancel);
 	// t.build polls it once per node.
 	af *abort.Flag

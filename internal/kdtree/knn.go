@@ -135,6 +135,11 @@ func (t *Tree) KNNInto(q int32, k int, ws *KNNWorkspace) []Neighbor {
 	ws.h.reset(k)
 	ws.out = ws.out[:0]
 	qc := t.Pts.At(int(t.Inv[q]))
+	if f := t.f32; f != nil {
+		t.knn32(t.Root, qc, f.Row(t.Inv[q]), &ws.h)
+		ws.out = ws.h.popAllInto(ws.out, t.Orig, f.Kern.Finish)
+		return ws.out
+	}
 	if t.l2 {
 		t.knn(t.Root, qc, &ws.h)
 		ws.out = ws.h.popAllInto(ws.out, t.Orig, math.Sqrt)
@@ -234,6 +239,10 @@ func (t *Tree) CoreDistancesCancel(minPts int, af *abort.Flag) []float64 {
 		af.Check()
 		var h knnHeap
 		for p := lo; p < hi; p++ {
+			if t.f32 != nil {
+				cd[t.Orig[p]] = t.coreDist32(p, minPts, &h)
+				continue
+			}
 			h.reset(minPts)
 			qc := data[p*dim : (p+1)*dim : (p+1)*dim]
 			if t.l2 {

@@ -14,7 +14,9 @@ func (t *Tree) RangeQuery(q int32, r float64) []int32 {
 // buffer has grown.
 func (t *Tree) RangeQueryAppend(q int32, r float64, out []int32) []int32 {
 	qc := t.Pts.At(int(t.Inv[q]))
-	if t.l2 {
+	if f := t.f32; f != nil {
+		t.rangeQuery32(t.Root, qc, f.Row(t.Inv[q]), f.Kern.CmpRadius(r), &out)
+	} else if t.l2 {
 		t.rangeQuery(t.Root, qc, r*r, &out)
 	} else {
 		t.rangeQueryMetric(t.Root, qc, r, &out)
@@ -28,6 +30,9 @@ func (t *Tree) RangeQueryAppend(q int32, r float64, out []int32) []int32 {
 // counted wholesale.
 func (t *Tree) RangeCount(q int32, r float64) int {
 	qc := t.Pts.At(int(t.Inv[q]))
+	if f := t.f32; f != nil {
+		return t.rangeCount32(t.Root, qc, f.Row(t.Inv[q]), f.Kern.CmpRadius(r))
+	}
 	if t.l2 {
 		return t.rangeCount(t.Root, qc, r*r)
 	}

@@ -61,6 +61,7 @@ type boruvkaRun struct {
 	ws    *Workspace
 	stats *Stats
 	l2    bool
+	f32   *kdtree.F32 // non-nil selects the float32 lane-scan query path
 	af    *abort.Flag
 
 	queryBody  func(lo, hi int)
@@ -70,7 +71,7 @@ type boruvkaRun struct {
 func newBoruvkaRun(t *kdtree.Tree, stats *Stats, ws *Workspace) *boruvkaRun {
 	n := t.Pts.N
 	ws.grow(n)
-	r := &boruvkaRun{t: t, ws: ws, stats: stats, l2: t.IsL2()}
+	r := &boruvkaRun{t: t, ws: ws, stats: stats, l2: t.IsL2(), f32: t.F32()}
 	dim := t.Pts.Dim
 	data := t.Pts.Data
 	r.queryBody = func(lo, hi int) {
@@ -79,9 +80,12 @@ func newBoruvkaRun(t *kdtree.Tree, stats *Stats, ws *Workspace) *boruvkaRun {
 			q := int32(i)
 			best := Edge{U: -1, V: -1, W: math.Inf(1)}
 			qc := data[i*dim : (i+1)*dim : (i+1)*dim]
-			if r.l2 {
+			switch {
+			case r.f32 != nil:
+				nearestOutside32(t, r.f32, t.Root, q, qc, r.f32.Row(q), ws.comp, &best)
+			case r.l2:
 				nearestOutside(t, t.Root, q, qc, ws.comp, &best)
-			} else {
+			default:
 				nearestOutsideMetric(t, t.Root, q, qc, ws.comp, &best)
 			}
 			ws.cand[i] = best
@@ -143,7 +147,9 @@ func (r *boruvkaRun) round() bool {
 		ws.best[c] = -1
 		e := ws.cand[bi]
 		if ws.uf.Union(e.U, e.V) {
-			if r.l2 {
+			if r.f32 != nil {
+				e.W = r.f32.Kern.Finish(e.W)
+			} else if r.l2 {
 				e.W = math.Sqrt(e.W)
 			}
 			ws.out = append(ws.out, e)

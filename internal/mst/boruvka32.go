@@ -1,0 +1,71 @@
+package mst
+
+import "parclust/internal/kdtree"
+
+// nearestOutside32 is the float32 traversal of the Borůvka query phase:
+// exact float64 comparison-space box bounds prune (together with the
+// component filter), and subtrees at the scan cutoff are lane-scanned
+// through the tree's SoA panels. Candidate weights stay in comparison
+// space until the edge is accepted (boruvkaRun.round applies Kern.Finish),
+// and all comparisons happen on float64-widened values, so the candidate
+// selection and its lexicographic tie-break are deterministic.
+func nearestOutside32(t *kdtree.Tree, f *kdtree.F32, nd *kdtree.Node, q int32, qc []float64, q32 []float32, comp []int32, best *Edge) {
+	cq := comp[q]
+	if nd.Comp >= 0 && nd.Comp == cq {
+		return // subtree entirely in q's component
+	}
+	// Prune only once a candidate exists (see nearestOutside): with no
+	// candidate yet a round must never return empty-handed.
+	if best.U >= 0 && f.Kern.PointBoxLB(qc, nd.Box) >= best.W {
+		return
+	}
+	if nd.IsLeaf() || nd.Size() <= kdtree.F32ScanMax {
+		scanNearest32(f, nd.Lo, nd.Hi, q, cq, q32, comp, best)
+		return
+	}
+	left, right := t.LeftOf(nd), t.RightOf(nd)
+	dl := f.Kern.PointBoxLB(qc, left.Box)
+	dr := f.Kern.PointBoxLB(qc, right.Box)
+	if dl <= dr {
+		nearestOutside32(t, f, left, q, qc, q32, comp, best)
+		nearestOutside32(t, f, right, q, qc, q32, comp, best)
+	} else {
+		nearestOutside32(t, f, right, q, qc, q32, comp, best)
+		nearestOutside32(t, f, left, q, qc, q32, comp, best)
+	}
+}
+
+// scanNearest32 lane-scans kd positions [lo, hi) and keeps the Less-least
+// outgoing candidate. The scratch buffer is a stack array: rounds stay at
+// zero heap allocations.
+func scanNearest32(f *kdtree.F32, lo, hi, q, cq int32, q32 []float32, comp []int32, best *Edge) {
+	var buf [kdtree.F32ScanMax]float32
+	for s := lo; s < hi; {
+		e := s + kdtree.F32ScanMax
+		if e > hi {
+			e = hi
+		}
+		f.ScanInto(buf[:], s, e, q32)
+		for j := int32(0); j < e-s; j++ {
+			p := s + j
+			if comp[p] == cq {
+				continue
+			}
+			d := float64(buf[j])
+			if d > best.W {
+				continue
+			}
+			u, v := q, p
+			if u > v {
+				u, v = v, u
+			}
+			// best.U < 0 accepts the first candidate unconditionally
+			// (mirrors nearestOutside; coordinate validation keeps float32
+			// comparison-space values finite, but the invariant is cheap).
+			if best.U < 0 || d < best.W || u < best.U || (u == best.U && v < best.V) {
+				*best = Edge{U: u, V: v, W: d}
+			}
+		}
+		s = e
+	}
+}

@@ -32,6 +32,15 @@ func MemoGFK(cfg Config) []Edge {
 	// bound (and the rho_lo/rho_hi window) in squared space; squaring is
 	// monotone, so the round structure and retrieved pairs are identical.
 	sq := sqConfigFor(cfg)
+	if sq != nil {
+		// In float32 mode the small-pair scan cutoff replaces the deep tail
+		// of the retrieval recursion; it needs the per-position component
+		// labels (refreshed into this same array every round).
+		if f := t.F32(); f != nil && f.Kern.Sq {
+			sq.brute = true
+			sq.comp = ws.comp
+		}
+	}
 	beta := 2
 	rhoLo := 0.0
 	for round := 0; len(ws.out) < n-1; round++ {

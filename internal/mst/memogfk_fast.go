@@ -27,6 +27,16 @@ type sqCfg struct {
 	sep   wspd.Separation
 	stats *Stats
 	af    *abort.Flag
+
+	// brute marks a float32-fast-path run, which changes two things in
+	// getPairsPairSq: small non-separated pairs take the brute-force scan
+	// cutoff instead of recursing (traversal overhead dominates high-dim
+	// runs), and window tests re-evaluate the returned BCCP pair exactly
+	// (see the comment there). comp holds the per-position component
+	// labels the scan filters with (the workspace array refreshed each
+	// round). The float64 traversal is unchanged.
+	brute bool
+	comp  []int32
 }
 
 // sqConfigFor returns the squared-space state when cfg's metric is one of
@@ -43,18 +53,23 @@ func sqConfigFor(cfg Config) *sqCfg {
 	return nil
 }
 
-func (c *sqCfg) lb2(a, b *kdtree.Node) float64 {
+// lb2b / ub2b are bounded node-pair bounds: exact below bound, and a result
+// >= bound only certifies the true bound is >= bound. The traversals use
+// them wherever a node-pair bound is tested against a fixed threshold —
+// in high dimension the O(dim) box scans there dominate the run, and the
+// early exit typically fires within the first few coordinates.
+func (c *sqCfg) lb2b(a, b *kdtree.Node, bound float64) float64 {
 	if c.cd == nil {
-		return geometry.SqDistBoxes(a.Box, b.Box)
+		return geometry.SqDistBoxesBounded(a.Box, b.Box, bound)
 	}
-	return kdtree.SqMutNodeLB(a, b)
+	return kdtree.SqMutNodeLBBounded(a, b, bound)
 }
 
-func (c *sqCfg) ub2(a, b *kdtree.Node) float64 {
+func (c *sqCfg) ub2b(a, b *kdtree.Node, bound float64) float64 {
 	if c.cd == nil {
-		return geometry.SqMaxDistBoxes(a.Box, b.Box)
+		return geometry.SqMaxDistBoxesBounded(a.Box, b.Box, bound)
 	}
-	return kdtree.SqMutNodeUB(a, b)
+	return kdtree.SqMutNodeUBBounded(a, b, bound)
 }
 
 // getRhoSq is getRho with all bounds in squared space.
@@ -96,8 +111,9 @@ func getRhoPairSq(c *sqCfg, p, q *kdtree.Node, beta int, rho *parallel.AtomicMin
 	if p.Size()+q.Size() <= beta {
 		return
 	}
-	lb := c.lb2(p, q)
-	if lb >= rho.Load() {
+	limit := rho.Load()
+	lb := c.lb2b(p, q, limit)
+	if lb >= limit {
 		return
 	}
 	if p.Radius < q.Radius {
@@ -157,10 +173,10 @@ func getPairsPairSq(c *sqCfg, p, q *kdtree.Node, beta int, rhoLo2, rhoHi2 float6
 	if connected(p, q) {
 		return nil
 	}
-	if c.lb2(p, q) >= rhoHi2 {
+	if c.lb2b(p, q, rhoHi2) >= rhoHi2 {
 		return nil
 	}
-	if c.ub2(p, q) < rhoLo2 {
+	if c.ub2b(p, q, rhoLo2) < rhoLo2 {
 		return nil
 	}
 	if p.Radius < q.Radius {
@@ -169,11 +185,24 @@ func getPairsPairSq(c *sqCfg, p, q *kdtree.Node, beta int, rhoLo2, rhoHi2 float6
 	if c.sep.WellSeparated(p, q) {
 		res := kdtree.BCCPSq(c.t, c.cd, p, q)
 		c.stats.AddBCCP(1)
+		if c.brute && res.U >= 0 {
+			// The float32 traversal returns a rounded weight, but the
+			// window ratchets in exact space: an edge whose rounded weight
+			// dips below rhoLo would be dropped in this round and pruned in
+			// every later one (the pair's bounds never re-admit it), so a
+			// heavier edge would silently take its place in the MST.
+			// Re-evaluating the one returned pair exactly keeps every edge
+			// in the round whose window contains its exact weight.
+			res.W = c.exactSqWeight(res.U, res.V)
+		}
 		if res.W >= rhoLo2 && res.W < rhoHi2 {
 			// One true-metric evaluation per emitted edge.
 			return []Edge{MakeEdge(res.U, res.V, c.m.Dist(res.U, res.V))}
 		}
 		return nil
+	}
+	if c.brute && p.Size()+q.Size() <= bruteSize {
+		return brutePairsSq(c, p, q, rhoLo2, rhoHi2)
 	}
 	if p.IsLeaf() {
 		p, q = q, p
@@ -191,4 +220,71 @@ func getPairsPairSq(c *sqCfg, p, q *kdtree.Node, beta int, rhoLo2, rhoHi2 float6
 		r = getPairsPairSq(c, pr, q, beta, rhoLo2, rhoHi2)
 	}
 	return append(l, r...)
+}
+
+// exactSqWeight is the exact squared-space weight of the pair of kd
+// positions (u, v): squared Euclidean distance, maxed with the squared
+// core distances under mutual reachability.
+func (c *sqCfg) exactSqWeight(u, v int32) float64 {
+	d := c.t.Pts.Dim
+	ru, rv := int(u)*d, int(v)*d
+	data := c.t.Pts.Data
+	w := geometry.SqDistVec(data[ru:ru+d:ru+d], data[rv:rv+d:rv+d])
+	if c.cd != nil {
+		if cu2 := c.cd[u] * c.cd[u]; cu2 > w {
+			w = cu2
+		}
+		if cv2 := c.cd[v] * c.cd[v]; cv2 > w {
+			w = cv2
+		}
+	}
+	return w
+}
+
+// bruteSize is the combined-cardinality cutoff below which getPairsPairSq
+// stops recursing on non-well-separated pairs and scans the cross product
+// directly (float32 mode only).
+const bruteSize = 64
+
+// brutePairsSq replaces the sub-recursion below a small, non-separated
+// node pair with one pass over the two kd-contiguous row ranges, emitting
+// every cross-component edge whose squared weight lands in the round's
+// window. The recursion would bottom out in singleton pairs — which are
+// always well-separated — so its emitted edge set is a subset of this
+// one, and Kruskal discards the extra true-weight edges; what the scan
+// saves is the O(dim) box-bound evaluation at every intermediate node
+// pair, the dominant cost of high-dimensional traversals. Weights and
+// window tests stay in exact float64, so round structure is unaffected.
+func brutePairsSq(c *sqCfg, p, q *kdtree.Node, rhoLo2, rhoHi2 float64) []Edge {
+	d := c.t.Pts.Dim
+	data := c.t.Pts.Data
+	var out []Edge
+	for u := p.Lo; u < p.Hi; u++ {
+		ru := int(u) * d
+		uc := data[ru : ru+d : ru+d]
+		cu := c.comp[u]
+		var cu2 float64
+		if c.cd != nil {
+			cu2 = c.cd[u] * c.cd[u]
+		}
+		for v := q.Lo; v < q.Hi; v++ {
+			if c.comp[v] == cu {
+				continue
+			}
+			rv := int(v) * d
+			w := geometry.SqDistVec(uc, data[rv:rv+d:rv+d])
+			if c.cd != nil {
+				if cu2 > w {
+					w = cu2
+				}
+				if cv2 := c.cd[v] * c.cd[v]; cv2 > w {
+					w = cv2
+				}
+			}
+			if w >= rhoLo2 && w < rhoHi2 {
+				out = append(out, MakeEdge(u, v, c.m.Dist(u, v)))
+			}
+		}
+	}
+	return out
 }

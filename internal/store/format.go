@@ -90,6 +90,13 @@ type Header struct {
 	N       int    `json:"n"`
 	Dim     int    `json:"dim"`
 	Metric  string `json:"metric"`
+	// Dtype records the numeric representation the engine ran under:
+	// "float32" for the SoA fast path, empty (or "float64") for the exact
+	// default. Points are always serialized as float64 either way — the
+	// float32 panels are derived data and are rebuilt on load — so the
+	// field only round-trips the engine's mode. Absent in pre-PR9
+	// snapshots, which decode as float64.
+	Dtype string `json:"dtype,omitempty"`
 	// ContentHash is the 64-bit FNV-1a of the points chunk bytes in
 	// lower-case hex; two snapshots of the same prepared point set always
 	// share it.
@@ -142,6 +149,9 @@ func Encode(w io.Writer, metricName string, e *engine.Engine) error {
 
 	var payload bytes.Buffer
 	hdr := Header{Version: formatVersion, N: n, Dim: dim, Metric: metricName}
+	if e.Float32() {
+		hdr.Dtype = "float32"
+	}
 	add := func(c Chunk, body []byte) {
 		c.Off = int64(payload.Len())
 		c.Len = int64(len(body))
@@ -397,6 +407,16 @@ func Decode(r io.Reader) (*Result, error) {
 	}
 
 	eng := engine.New(pts, kern)
+	switch hdr.Dtype {
+	case "", "float64":
+	case "float32":
+		// Enable before seeding so the seeded tree gets its panels attached.
+		if err := eng.EnableFloat32(); err != nil {
+			return nil, fmt.Errorf("store: restore float32 mode: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("store: unknown dtype %q", hdr.Dtype)
+	}
 	eng.SeedStages(set)
 	res.Engine = eng
 	return res, nil

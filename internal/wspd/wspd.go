@@ -81,9 +81,10 @@ func (MutualUnreachable) WellSeparated(a, b *kdtree.Node) bool {
 	if b.CDMax > rhs {
 		rhs = b.CDMax
 	}
-	// lhs = max(gap, cmin): either the core-distance floor already clears
-	// rhs, or the sphere gap has to.
-	return cmin >= rhs || sphereGapAtLeast(a, b, rhs)
+	// lhs = max(gap, cmin). The gap disjunct is already settled: it failed
+	// at threshold maxDiam above, and rhs >= maxDiam makes the same test
+	// monotonically stricter, so only the core-distance floor can clear rhs.
+	return cmin >= rhs
 }
 
 // MetricGeometric is well-separation under an arbitrary metric kernel's

@@ -22,6 +22,9 @@ func (ix *Index) WriteSnapshot(w io.Writer) error {
 type SnapshotDetails struct {
 	// Metric is the kernel the snapshotted Index ran under.
 	Metric Metric
+	// Float32 reports that the snapshotted Index ran on the float32 fast
+	// path; the restored Index resumes in the same mode.
+	Float32 bool
 	// N and Dim describe the point set.
 	N, Dim int
 	// Stages is the number of serialized stage chunks (tree, core
@@ -61,6 +64,7 @@ func ReadSnapshotDetails(r io.Reader) (*Index, *SnapshotDetails, error) {
 	ix := &Index{metric: m, eng: res.Engine}
 	det := &SnapshotDetails{
 		Metric:        m,
+		Float32:       res.Engine.Float32(),
 		N:             res.Header.N,
 		Dim:           res.Header.Dim,
 		Stages:        len(res.Header.Chunks) - 1,
