@@ -9,7 +9,7 @@
 //	benchsuite -exp all
 //
 // Experiments: table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10
-// memory pairs metrics serve daemon restart overload all. See
+// memory pairs metrics serve daemon restart ingest overload all. See
 // EXPERIMENTS.md for the mapping to the paper.
 package main
 
@@ -42,7 +42,7 @@ import (
 )
 
 var (
-	expFlag      = flag.String("exp", "all", "experiment to run (table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10 memory pairs metrics serve daemon restart overload highdim all)")
+	expFlag      = flag.String("exp", "all", "experiment to run (table2 table3 table4 table5 fig6 fig7 fig8 fig9 fig10 memory pairs metrics serve daemon restart ingest overload highdim all)")
 	nFlag        = flag.Int("n", 10000, "points per dataset")
 	minPtsFlag   = flag.Int("minpts", 10, "HDBSCAN* minPts")
 	seedFlag     = flag.Int64("seed", 42, "generator seed")
@@ -110,7 +110,7 @@ func main() {
 		*nFlag, *minPtsFlag, *seedFlag, runtime.NumCPU())
 	exps := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
-		exps = []string{"table3", "table4", "table5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "memory", "pairs", "metrics", "serve", "daemon", "restart", "overload", "highdim"}
+		exps = []string{"table3", "table4", "table5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "memory", "pairs", "metrics", "serve", "daemon", "restart", "ingest", "overload", "highdim"}
 	}
 	summary := jsonSummary{
 		N:         *nFlag,
@@ -154,6 +154,8 @@ func main() {
 			daemonStudy()
 		case "restart":
 			restartStudy()
+		case "ingest":
+			ingestStudy()
 		case "overload":
 			overloadStudy()
 		case "highdim":
@@ -1411,6 +1413,106 @@ func highdimStudy() {
 				fmt.Printf("%d | %s | %.1f | %.1f | %.1f | %.2fx | %.2fx | %.2fx | %.2e\n",
 					dim, dtype, med["coredist"]*1e3, med["hdbscan"]*1e3, med["knn"]*1e6,
 					speed("coredist"), speed("hdbscan"), speed("knn"), relErr)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------- Ingest
+
+// ingestStudy measures the incremental-update contract: absorbing a stream
+// of insert batches through Index.Insert (overlay + amortized compaction)
+// versus rebuilding a fresh Index per batch, with one warm k-NN query after
+// every batch in both modes so each must serve queries over the full set it
+// has absorbed. The amortized per-insert cost of the incremental mode must
+// be at least 10x cheaper than rebuild-per-batch at n >= 10k — the
+// rebuild-amortization acceptance bar — or the study panics.
+func ingestStudy() {
+	fmt.Println("\n## Ingest: incremental Insert vs rebuild-per-batch (amortized per-insert cost)")
+	fmt.Println("n | batches | batch_rows | incremental_us_per_insert | rebuild_us_per_insert | speedup")
+	for _, n := range []int{10_000, 100_000} {
+		base := generator.SSVarden(n, 2, *seedFlag)
+		const batches = 50
+		batchRows := n / 100
+		stream := generator.SSVarden(batches*batchRows, 2, *seedFlag+1)
+		batch := func(i int) parclust.Points {
+			lo := i * batchRows * stream.Dim
+			hi := (i + 1) * batchRows * stream.Dim
+			return parclust.Points{Data: stream.Data[lo:hi], N: batchRows, Dim: stream.Dim}
+		}
+		totalInserts := batches * batchRows
+
+		// Incremental: one live Index absorbs every batch; the final
+		// Compact is charged to this mode so the timing covers the whole
+		// amortization cycle, not just the cheap overlay appends.
+		incIdx, err := parclust.NewIndex(base, nil)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := incIdx.KNN(0, 8); err != nil { // build the base tree outside the timed loop, as rebuild mode gets base for free too
+			panic(err)
+		}
+		incStart := time.Now()
+		for i := 0; i < batches; i++ {
+			if _, err := incIdx.Insert(batch(i)); err != nil {
+				panic(err)
+			}
+			if _, err := incIdx.KNN(0, 8); err != nil {
+				panic(err)
+			}
+		}
+		if err := incIdx.Compact(); err != nil {
+			panic(err)
+		}
+		inc := time.Since(incStart)
+
+		// Rebuild-per-batch: the only way to "insert" without the dynamic
+		// layer — append rows and build a fresh Index every batch.
+		all := append([]float64(nil), base.Data...)
+		var reb time.Duration
+		for i := 0; i < batches; i++ {
+			b := batch(i)
+			start := time.Now()
+			all = append(all, b.Data...)
+			rebIdx, err := parclust.NewIndex(parclust.Points{Data: all, N: len(all) / 2, Dim: 2}, nil)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := rebIdx.KNN(0, 8); err != nil {
+				panic(err)
+			}
+			reb += time.Since(start)
+		}
+
+		incPer := inc.Nanoseconds() / int64(totalInserts)
+		rebPer := reb.Nanoseconds() / int64(totalInserts)
+		speedup := float64(rebPer) / float64(incPer)
+		fmt.Printf("%d | %d | %d | %.1f | %.1f | %.1fx\n",
+			n, batches, batchRows, float64(incPer)/1e3, float64(rebPer)/1e3, speedup)
+		benchfmtLines = append(benchfmtLines,
+			fmt.Sprintf("BenchmarkIngest/mode=incremental/n=%d 1 %d ns/op", n, incPer),
+			fmt.Sprintf("BenchmarkIngest/mode=rebuild/n=%d 1 %d ns/op", n, rebPer))
+		if n >= 100_000 && speedup < 10 {
+			panic(fmt.Sprintf("ingest n=%d: incremental per-insert only %.1fx cheaper than rebuild-per-batch, want >= 10x", n, speedup))
+		}
+
+		// The speed means nothing if the absorbed stream is wrong: the
+		// compacted Index must match a fresh build over base+stream.
+		wantIdx, err := parclust.NewIndex(parclust.Points{Data: all, N: len(all) / 2, Dim: 2}, nil)
+		if err != nil {
+			panic(err)
+		}
+		got, err := incIdx.KNN(0, 8)
+		if err != nil {
+			panic(err)
+		}
+		want, err := wantIdx.KNN(0, 8)
+		if err != nil {
+			panic(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				panic(fmt.Sprintf("ingest n=%d: KNN diverges from fresh build after stream", n))
 			}
 		}
 	}

@@ -134,6 +134,32 @@
 // dataset's registry accounting after every sweep request, so cut-cache
 // growth stays visible to the admission budget between uploads.
 //
+// # Incremental updates and the stage epoch
+//
+// Insert and Delete mutate a live Index without rebuilding it: inserted
+// rows buffer in an overlay merged into point queries by brute force,
+// deleted rows become tombstones the tree traversals skip, and the index
+// compacts (rebuilds its canonical base over the survivors, in ascending
+// external-id order, through the exact build path a fresh Index uses)
+// when the backlog crosses 25% of the live set or a global stage needs
+// the full live set. That shared build path is the correctness argument:
+// after any mutation sequence, every result — clusterings, MSTs, point
+// queries — is byte-identical to a fresh Index over the equivalent
+// points.
+//
+// Every mutation bumps the Index's stage epoch (MutationEpoch) before it
+// is applied, then drops exactly the downstream stages — core distances,
+// MSTs, dendrograms, and the cut-result caches — while the tree survives
+// as a patched base (TreePatches counts these; Compactions counts full
+// rebuilds). The epoch is the serving layer's race detector: a daemon
+// query captures the epoch at admission and re-checks it before writing
+// its response, answering 409 Conflict when a mutation landed mid-query
+// instead of serving a mix of pre- and post-mutation state. External ids
+// are monotonic and never reused; they are not persisted — WriteSnapshot
+// compacts first and a restored Index renumbers survivors 0..m-1 in the
+// same dense order, so dense-space answers survive a restart
+// byte-for-byte.
+//
 // # Snapshots: persistence for warm Indexes
 //
 // WriteSnapshot serializes an Index — its prepared points and every

@@ -149,11 +149,12 @@ func NewIndex(pts Points, opts *IndexOptions) (*Index, error) {
 // Float32 reports whether the Index runs on the float32 fast path.
 func (ix *Index) Float32() bool { return ix.eng.Float32() }
 
-// N returns the number of indexed points.
-func (ix *Index) N() int { return ix.eng.Pts.N }
+// N returns the number of live indexed points: the initial rows plus
+// Inserts, minus Deletes.
+func (ix *Index) N() int { return ix.eng.N() }
 
 // Dim returns the dimensionality of the indexed points.
-func (ix *Index) Dim() int { return ix.eng.Pts.Dim }
+func (ix *Index) Dim() int { return ix.eng.Dim() }
 
 // Metric returns the distance kernel the Index runs under.
 func (ix *Index) Metric() Metric { return ix.metric }
@@ -194,7 +195,13 @@ func (ix *Index) ApproxBytes() int64 {
 	if ix.eng.Float32() {
 		f32 = 8 * n * dim // float32 row copy + SoA panels (4 bytes each)
 	}
-	return pts + tree + cache + f32 + ix.eng.CutCacheBytes() + 4096
+	var dyn int64
+	if info := ix.eng.DynInfo(); info.Dirty {
+		// Uncompacted mutations: overlay rows plus the external-id and
+		// dense-id maps kept alive until the next compaction.
+		dyn = 8*int64(info.Overlay)*dim + 24*n
+	}
+	return pts + tree + cache + f32 + dyn + ix.eng.CutCacheBytes() + 4096
 }
 
 // HDBSCAN returns the memoized HDBSCAN* hierarchy for minPts (default
@@ -287,10 +294,11 @@ func (ix *Index) DBSCANStar(minPts int, eps float64) (Clustering, error) {
 	if err != nil || done {
 		return r, err
 	}
-	res, err := ix.dbscanResult(minPts, eps)
+	t, err := ix.eng.CanonTree(ix.ctx, nil)
 	if err != nil {
 		return Clustering{}, err
 	}
+	res := ix.dbscanResult(t, minPts, eps)
 	return Clustering{Labels: res.Labels, NumClusters: res.NumClusters}, nil
 }
 
@@ -301,14 +309,11 @@ func (ix *Index) DBSCAN(minPts int, eps float64) (Clustering, error) {
 	if err != nil || done {
 		return r, err
 	}
-	t, err := ix.eng.Tree(ix.ctx, nil)
+	t, err := ix.eng.CanonTree(ix.ctx, nil)
 	if err != nil {
 		return Clustering{}, err
 	}
-	core, err := ix.dbscanResult(minPts, eps)
-	if err != nil {
-		return Clustering{}, err
-	}
+	core := ix.dbscanResult(t, minPts, eps)
 	res := dbscan.AttachBorders(t, core, eps)
 	return Clustering{Labels: res.Labels, NumClusters: res.NumClusters}, nil
 }
@@ -327,16 +332,14 @@ func (ix *Index) dbscanStar(minPts int, eps float64) (Clustering, bool, error) {
 	return Clustering{}, false, nil
 }
 
-// dbscanResult runs the core-point DBSCAN* computation over the shared
-// tree. Core flags come from range counts — the definition every DBSCAN
-// entry point has always used — not from the sqrt'd memoized core
-// distances, whose double rounding could flip boundary-eps cases.
-func (ix *Index) dbscanResult(minPts int, eps float64) (dbscan.Result, error) {
-	t, err := ix.eng.Tree(ix.ctx, nil)
-	if err != nil {
-		return dbscan.Result{}, err
-	}
-	return dbscan.StarWithCore(t, dbscan.CoreByRangeCount(t, minPts, eps), eps), nil
+// dbscanResult runs the core-point DBSCAN* computation over the given
+// canonical tree (one coherent tree serves core flags, components, and
+// border attachment even if a mutation lands mid-query). Core flags come
+// from range counts — the definition every DBSCAN entry point has always
+// used — not from the sqrt'd memoized core distances, whose double rounding
+// could flip boundary-eps cases.
+func (ix *Index) dbscanResult(t *kdtree.Tree, minPts int, eps float64) dbscan.Result {
+	return dbscan.StarWithCore(t, dbscan.CoreByRangeCount(t, minPts, eps), eps)
 }
 
 // OPTICS computes the classic sequential OPTICS ordering at (minPts, eps)
@@ -351,20 +354,27 @@ func (ix *Index) OPTICS(minPts int, eps float64) ([]OPTICSEntry, error) {
 	if ix.N() == 0 {
 		return nil, nil
 	}
-	t, err := ix.eng.Tree(ix.ctx, nil)
-	if err != nil {
-		return nil, err
+	for {
+		t, err := ix.eng.CanonTree(ix.ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		cd, err := ix.eng.CoreDist(ix.ctx, minPts, nil)
+		if err != nil {
+			return nil, err
+		}
+		// A mutation can land between the two stage fetches; retry until the
+		// core distances describe exactly this tree's point set.
+		if len(cd) == t.Pts.N {
+			return optics.RunOnTree(t, cd, eps, false), nil
+		}
 	}
-	cd, err := ix.eng.CoreDist(ix.ctx, minPts, nil)
-	if err != nil {
-		return nil, err
-	}
-	return optics.RunOnTree(t, cd, eps, false), nil
 }
 
-// KNN returns the k nearest neighbors of the indexed point with original id
-// q (including q itself), sorted by increasing tree-metric distance, over
-// the shared tree.
+// KNN returns the k nearest neighbors of the indexed point with dense id q
+// (including q itself), sorted by increasing tree-metric distance. On a
+// mutated Index the overlay is merged and tombstones are skipped, so the
+// answer matches a fresh Index over the live rows.
 func (ix *Index) KNN(q int32, k int) ([]Neighbor, error) {
 	if q < 0 || int(q) >= ix.N() {
 		return nil, fmt.Errorf("parclust: point id %d out of range [0, %d)", q, ix.N())
@@ -372,16 +382,14 @@ func (ix *Index) KNN(q int32, k int) ([]Neighbor, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("parclust: k must be >= 1, got %d", k)
 	}
-	t, err := ix.eng.Tree(ix.ctx, nil)
-	if err != nil {
-		return nil, err
-	}
-	return t.KNN(q, k), nil
+	var ws kdtree.KNNWorkspace
+	return ix.eng.KNNLive(ix.ctx, int(q), k, &ws)
 }
 
-// RangeQuery returns the original ids of all indexed points within
-// tree-metric distance r of the point with original id q (including q
-// itself), in no particular order.
+// RangeQuery returns the dense ids of all indexed points within
+// tree-metric distance r of the point with dense id q (including q
+// itself), in no particular order. On a mutated Index the overlay is
+// merged and tombstones are skipped.
 func (ix *Index) RangeQuery(q int32, r float64) ([]int32, error) {
 	if q < 0 || int(q) >= ix.N() {
 		return nil, fmt.Errorf("parclust: point id %d out of range [0, %d)", q, ix.N())
@@ -389,15 +397,12 @@ func (ix *Index) RangeQuery(q int32, r float64) ([]int32, error) {
 	if r < 0 || math.IsNaN(r) {
 		return nil, fmt.Errorf("parclust: invalid radius %v", r)
 	}
-	t, err := ix.eng.Tree(ix.ctx, nil)
-	if err != nil {
-		return nil, err
-	}
-	return t.RangeQuery(q, r), nil
+	return ix.eng.RangeLive(ix.ctx, int(q), r)
 }
 
 // RangeCount returns the number of indexed points within tree-metric
-// distance r of the point with original id q (including q itself).
+// distance r of the point with dense id q (including q itself), counting
+// overlay inserts and excluding tombstoned points on a mutated Index.
 func (ix *Index) RangeCount(q int32, r float64) (int, error) {
 	if q < 0 || int(q) >= ix.N() {
 		return 0, fmt.Errorf("parclust: point id %d out of range [0, %d)", q, ix.N())
@@ -405,11 +410,7 @@ func (ix *Index) RangeCount(q int32, r float64) (int, error) {
 	if r < 0 || math.IsNaN(r) {
 		return 0, fmt.Errorf("parclust: invalid radius %v", r)
 	}
-	t, err := ix.eng.Tree(ix.ctx, nil)
-	if err != nil {
-		return 0, err
-	}
-	return t.RangeCount(q, r), nil
+	return ix.eng.RangeCountLive(ix.ctx, int(q), r)
 }
 
 // CoreDistances returns the memoized per-point core distances for minPts

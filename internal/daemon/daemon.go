@@ -22,6 +22,8 @@
 //	GET    /v1/datasets/{name}/knn        ?q=&k=
 //	GET    /v1/datasets/{name}/range      ?q=&r=  [&ids=false]
 //	POST   /v1/datasets/{name}/sweep      {"minpts":[...],"eps":[...]} full parameter grid
+//	POST   /v1/datasets/{name}/points     insert rows (JSON {"points":[[...]]} or CSV body)
+//	DELETE /v1/datasets/{name}/points     delete points by external id ({"ids":[...]})
 //	GET    /v1/broadcast/hdbscan          ?minpts=&eps=   fan-out across all datasets
 //	GET    /v1/stats                      engine counters per dataset + registry occupancy
 //
@@ -119,11 +121,14 @@ type Server struct {
 	overloaded    atomic.Int64 // cold builds shed by the build gate (503)
 	timeouts      atomic.Int64 // queries past their deadline (504)
 	quotaRejected atomic.Int64 // uploads over a tenant byte quota (507)
+	mutations     atomic.Int64 // insert/delete batches applied (see mutate.go)
+	conflicts     atomic.Int64 // queries answered 409 after racing a mutation
 }
 
-// dataset is one registry entry: a named, immutable Index. tenant is the
-// uploader's identity for byte-quota accounting ("" for datasets loaded
-// from snapshots, which predate or outlive any one tenant's session).
+// dataset is one registry entry: a named Index, mutable through the
+// incremental-update endpoints (see mutate.go). tenant is the uploader's
+// identity for byte-quota accounting ("" for datasets loaded from
+// snapshots, which predate or outlive any one tenant's session).
 type dataset struct {
 	name   string
 	metric parclust.Metric
@@ -189,6 +194,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets/{name}/knn", s.handleKNN)
 	mux.HandleFunc("GET /v1/datasets/{name}/range", s.handleRange)
 	mux.HandleFunc("POST /v1/datasets/{name}/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/datasets/{name}/points", s.handleInsertPoints)
+	mux.HandleFunc("DELETE /v1/datasets/{name}/points", s.handleDeletePoints)
 	mux.HandleFunc("GET /v1/broadcast/hdbscan", s.handleBroadcast)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s.withRobustness(mux)
@@ -211,23 +218,26 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 // countersJSON mirrors engine.Counters with wire names plus the coalesced
 // total the 16-cold-clients test (and dashboards) key on.
 type countersJSON struct {
-	TreeBuilds          int64 `json:"tree_builds"`
-	TreeHits            int64 `json:"tree_hits"`
-	TreeCoalesced       int64 `json:"tree_coalesced"`
-	CoreDistBuilds      int64 `json:"core_dist_builds"`
-	CoreDistHits        int64 `json:"core_dist_hits"`
-	CoreDistCoalesced   int64 `json:"core_dist_coalesced"`
-	MSTBuilds           int64 `json:"mst_builds"`
-	MSTHits             int64 `json:"mst_hits"`
-	MSTCoalesced        int64 `json:"mst_coalesced"`
-	DendrogramBuilds    int64 `json:"dendrogram_builds"`
-	DendrogramHits      int64 `json:"dendrogram_hits"`
-	DendrogramCoalesced int64 `json:"dendrogram_coalesced"`
-	CutBuilds           int64 `json:"cut_builds"`
-	CutHits             int64 `json:"cut_hits"`
-	CoalescedTotal      int64 `json:"coalesced_total"`
-	BuildAborts         int64 `json:"build_aborts"`
-	BuildPanics         int64 `json:"build_panics"`
+	TreeBuilds          int64  `json:"tree_builds"`
+	TreeHits            int64  `json:"tree_hits"`
+	TreeCoalesced       int64  `json:"tree_coalesced"`
+	CoreDistBuilds      int64  `json:"core_dist_builds"`
+	CoreDistHits        int64  `json:"core_dist_hits"`
+	CoreDistCoalesced   int64  `json:"core_dist_coalesced"`
+	MSTBuilds           int64  `json:"mst_builds"`
+	MSTHits             int64  `json:"mst_hits"`
+	MSTCoalesced        int64  `json:"mst_coalesced"`
+	DendrogramBuilds    int64  `json:"dendrogram_builds"`
+	DendrogramHits      int64  `json:"dendrogram_hits"`
+	DendrogramCoalesced int64  `json:"dendrogram_coalesced"`
+	CutBuilds           int64  `json:"cut_builds"`
+	CutHits             int64  `json:"cut_hits"`
+	CoalescedTotal      int64  `json:"coalesced_total"`
+	BuildAborts         int64  `json:"build_aborts"`
+	BuildPanics         int64  `json:"build_panics"`
+	TreePatches         int64  `json:"tree_patches"`
+	Compactions         int64  `json:"compactions"`
+	MutationEpoch       uint64 `json:"mutation_epoch"`
 }
 
 func toCountersJSON(c engine.Counters) countersJSON {
@@ -249,6 +259,9 @@ func toCountersJSON(c engine.Counters) countersJSON {
 		CoalescedTotal:      c.Coalesced(),
 		BuildAborts:         c.BuildAborts,
 		BuildPanics:         c.BuildPanics,
+		TreePatches:         c.TreePatches,
+		Compactions:         c.Compactions,
+		MutationEpoch:       c.MutationEpoch,
 	}
 }
 
@@ -675,6 +688,7 @@ func (s *Server) handleHDBSCAN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	epoch := d.idx.MutationEpoch()
 	minPts, ok := qInt(w, r, "minpts")
 	if !ok {
 		return
@@ -717,8 +731,7 @@ func (s *Server) handleHDBSCAN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hier, err := d.idx.WithContext(r.Context()).HDBSCANWithAlgorithm(minPts, algo)
-	if err != nil {
-		s.queryError(w, r, err)
+	if !s.queryDone(w, r, d, epoch, err) {
 		return
 	}
 	res := flatResult{Dataset: d.name, MinPts: minPts, Algo: algo.String()}
@@ -756,6 +769,7 @@ func (s *Server) handleDBSCAN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	epoch := d.idx.MutationEpoch()
 	minPts, ok := qInt(w, r, "minpts")
 	if !ok {
 		return
@@ -783,8 +797,7 @@ func (s *Server) handleDBSCAN(w http.ResponseWriter, r *http.Request) {
 	} else {
 		c, err = idx.DBSCAN(minPts, eps)
 	}
-	if err != nil {
-		s.queryError(w, r, err)
+	if !s.queryDone(w, r, d, epoch, err) {
 		return
 	}
 	res := flatResult{
@@ -839,6 +852,7 @@ func (s *Server) handleOPTICS(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	epoch := d.idx.MutationEpoch()
 	minPts, ok := qInt(w, r, "minpts")
 	if !ok {
 		return
@@ -853,8 +867,7 @@ func (s *Server) handleOPTICS(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	entries, err := d.idx.WithContext(r.Context()).OPTICS(minPts, eps)
-	if err != nil {
-		s.queryError(w, r, err)
+	if !s.queryDone(w, r, d, epoch, err) {
 		return
 	}
 	res := opticsResult{Dataset: d.name, MinPts: minPts}
@@ -898,6 +911,7 @@ func (s *Server) handleEMST(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	epoch := d.idx.MutationEpoch()
 	algo, err := parseEMSTAlgo(r.URL.Query().Get("algo"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -911,8 +925,7 @@ func (s *Server) handleEMST(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	edges, err := d.idx.WithContext(r.Context()).EMSTWithAlgorithm(algo)
-	if err != nil {
-		s.queryError(w, r, err)
+	if !s.queryDone(w, r, d, epoch, err) {
 		return
 	}
 	total := 0.0
@@ -954,6 +967,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	epoch := d.idx.MutationEpoch()
 	q, ok := qInt32(w, r, "q")
 	if !ok {
 		return
@@ -963,8 +977,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	nbs, err := d.idx.WithContext(r.Context()).KNN(q, k)
-	if err != nil {
-		s.queryError(w, r, err)
+	if !s.queryDone(w, r, d, epoch, err) {
 		return
 	}
 	out := make([]neighborJSON, len(nbs))
@@ -982,6 +995,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	epoch := d.idx.MutationEpoch()
 	q, ok := qInt32(w, r, "q")
 	if !ok {
 		return
@@ -991,8 +1005,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ids, err := d.idx.WithContext(r.Context()).RangeQuery(q, radius)
-	if err != nil {
-		s.queryError(w, r, err)
+	if !s.queryDone(w, r, d, epoch, err) {
 		return
 	}
 	resp := map[string]any{

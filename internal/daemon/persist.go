@@ -104,10 +104,13 @@ func (s *Server) onRelease(key string, d *dataset, cause registry.ReleaseCause) 
 // persist writes d's snapshot unless the copy on disk is already current:
 // same point-set content hash and at least as many stage chunks. The
 // staleness check makes repeated spill/reload cycles of an unchanged
-// dataset write the file once.
+// dataset write the file once. A Dirty index is unconditionally stale —
+// its signature still describes the pre-mutation base points, so the hash
+// comparison would wrongly skip the write (WriteSnapshot compacts, making
+// the written snapshot carry the live set).
 func (s *Server) persist(d *dataset) error {
 	sig := d.idx.SnapshotSignature()
-	if hdr, err := s.st.ReadHeaderFile(d.name); err == nil &&
+	if hdr, err := s.st.ReadHeaderFile(d.name); err == nil && !d.idx.Dirty() &&
 		hdr.ContentHash == sig.ContentHash && len(hdr.Chunks) >= sig.Chunks {
 		return nil
 	}

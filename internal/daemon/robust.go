@@ -222,6 +222,8 @@ type robustJSON struct {
 	QuotaRejected  int64 `json:"quota_rejected"`
 	BuildAborts    int64 `json:"build_aborts"`
 	BuildPanics    int64 `json:"build_panics"`
+	Mutations      int64 `json:"mutations"`
+	Conflicts      int64 `json:"conflicts"`
 }
 
 func (s *Server) robustStats() robustJSON {
@@ -232,6 +234,8 @@ func (s *Server) robustStats() robustJSON {
 		Overloaded:     s.overloaded.Load(),
 		Timeouts:       s.timeouts.Load(),
 		QuotaRejected:  s.quotaRejected.Load(),
+		Mutations:      s.mutations.Load(),
+		Conflicts:      s.conflicts.Load(),
 	}
 	for _, key := range s.reg.Keys() {
 		if h, ok := s.reg.Peek(key); ok {

@@ -117,6 +117,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	epoch := d.idx.MutationEpoch()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSweepBodyBytes))
 	if err != nil {
 		writeError(w, uploadErrCode(err), "read sweep request: %v", err)
@@ -148,6 +149,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		NumCells: len(req.MinPts) * len(req.Eps),
 	}
 	if wantsNDJSON(r) {
+		// The stream is about to commit its 200; a mutation that already
+		// raced in answers 409 while that is still possible. Mutations
+		// landing after this point truncate the stream below.
+		if !s.queryDone(w, r, d, epoch, nil) {
+			return
+		}
 		sw := newStreamWriter(w, r)
 		if !sw.write(res) {
 			return
@@ -155,10 +162,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	row:
 		for _, mp := range req.MinPts {
 			hier, err := idx.HDBSCANWithAlgorithm(mp, algo)
-			if err != nil {
-				// A cancelled/expired context or a shed cold build; the
-				// stream has committed its 200, so a truncated stream (no
-				// trailer) is the only honest answer.
+			if err != nil || d.idx.MutationEpoch() != epoch {
+				// A cancelled/expired context, a shed cold build, or a
+				// mutation racing the sweep; the stream has committed its
+				// 200, so a truncated stream (no trailer) is the only
+				// honest answer.
 				return
 			}
 			for _, eps := range req.Eps {
@@ -187,8 +195,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			hier, err := idx.HDBSCANWithAlgorithm(mp, algo)
-			if err != nil {
-				s.queryError(w, r, err)
+			if !s.queryDone(w, r, d, epoch, err) {
 				return
 			}
 			for _, eps := range req.Eps {
@@ -205,6 +212,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if ctxDone(r) {
+			return
+		}
+		if !s.queryDone(w, r, d, epoch, nil) {
 			return
 		}
 		writeJSON(w, http.StatusOK, res)

@@ -243,8 +243,11 @@ var wsPool = sync.Pool{New: func() any { return mst.NewWorkspace() }}
 // prepared point set. Use New, then query stages; all methods are safe for
 // concurrent use.
 type Engine struct {
-	// Pts is the prepared point set (validated, and unit-normalized for the
-	// angular kernel). It must never be mutated.
+	// Pts is the prepared base point set (validated, and unit-normalized
+	// for the angular kernel). Its rows are never written in place, but
+	// compaction (see dynamic.go) replaces the whole struct under
+	// buildMu+regMu — read it under regMu.RLock (or buildMu), or through
+	// SnapshotView for a stage-coherent copy.
 	Pts geometry.Points
 	// Kern is the distance kernel every stage runs under.
 	Kern metric.Metric
@@ -268,6 +271,16 @@ type Engine struct {
 	cores map[int][]float64 // minPts -> core distances, original-id order
 	msts  map[mstKey][]mst.Edge
 	hiers map[mstKey]*HierStage
+
+	// dyn is the dynamic-layer state (overlay inserts, tombstoned deletes,
+	// external-id map); nil until the first mutation. Published under regMu
+	// like the stage maps; replaced wholesale, never written in place. See
+	// dynamic.go.
+	dyn *dynState
+
+	// epoch counts mutations; bumped at the start of every Insert/Delete,
+	// before the mutation is applied (see MutationEpoch).
+	epoch atomic.Uint64
 
 	// annotated is the minPts the tree's CDMin/CDMax annotations currently
 	// reflect (0: none). Guarded by buildMu.
@@ -504,8 +517,9 @@ func (e *Engine) lead(ctx context.Context, key sfKey, f *flight, build func(af *
 	return nil
 }
 
-// N returns the number of indexed points.
-func (e *Engine) N() int { return e.Pts.N }
+// N returns the number of live indexed points (the base set adjusted for
+// uncompacted inserts and deletes).
+func (e *Engine) N() int { return e.LiveN() }
 
 // Tree returns the shared k-d tree, building it on first use. stats (which
 // may be nil) receives the "build-tree" phase time on a miss. ctx (nil
@@ -567,25 +581,32 @@ func (e *Engine) treeLocked(af *abort.Flag, stats *mst.Stats) *kdtree.Tree {
 // computing (and memoizing) them on first use. The returned slice is shared
 // and must not be mutated. ctx bounds a cold build (see coalesce).
 func (e *Engine) CoreDist(ctx context.Context, minPts int, stats *mst.Stats) ([]float64, error) {
-	e.regMu.RLock()
-	cd, ok := e.cores[minPts]
-	e.regMu.RUnlock()
-	if ok {
-		e.c.coreHits.Add(1)
-		return cd, nil
+	// The post-flight lookup can miss when a mutation invalidated the stage
+	// between the leader's publish and this read; loop until a lookup lands
+	// on a published value (each round is a fresh flight).
+	for {
+		e.regMu.RLock()
+		cd, ok := e.cores[minPts]
+		e.regMu.RUnlock()
+		if ok {
+			e.c.coreHits.Add(1)
+			return cd, nil
+		}
+		err := e.coalesce(ctx, sfKey{stage: sfCore, minPts: minPts}, &e.c.coreCoalesced, func(af *abort.Flag) {
+			e.buildMu.Lock()
+			defer e.buildMu.Unlock()
+			e.coreDistLocked(af, minPts, stats)
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.regMu.RLock()
+		cd, ok = e.cores[minPts]
+		e.regMu.RUnlock()
+		if ok {
+			return cd, nil
+		}
 	}
-	err := e.coalesce(ctx, sfKey{stage: sfCore, minPts: minPts}, &e.c.coreCoalesced, func(af *abort.Flag) {
-		e.buildMu.Lock()
-		defer e.buildMu.Unlock()
-		e.coreDistLocked(af, minPts, stats)
-	})
-	if err != nil {
-		return nil, err
-	}
-	e.regMu.RLock()
-	cd = e.cores[minPts]
-	e.regMu.RUnlock()
-	return cd, nil
 }
 
 func (e *Engine) coreDistLocked(af *abort.Flag, minPts int, stats *mst.Stats) []float64 {
@@ -595,7 +616,7 @@ func (e *Engine) coreDistLocked(af *abort.Flag, minPts int, stats *mst.Stats) []
 	if ok {
 		return cd
 	}
-	t := e.treeLocked(af, stats)
+	t := e.canonLocked(af, stats)
 	stats.Time("core-dist", func() {
 		cd = t.CoreDistancesCancel(minPts, af)
 	})
@@ -643,28 +664,36 @@ func (e *Engine) storeMST(key mstKey, edges []mst.Edge) {
 // without building anything (the one-shot API contract). ctx bounds a cold
 // build (see coalesce).
 func (e *Engine) EMST(ctx context.Context, algo EMSTAlgo, stats *mst.Stats) ([]mst.Edge, error) {
-	if e.Pts.N <= 1 {
+	if e.LiveN() <= 1 {
 		return nil, nil
 	}
 	key := mstKey{Kind: KindEMST, Algo: uint8(algo)}
-	if edges, ok := e.lookupMST(key); ok {
-		e.c.mstHits.Add(1)
-		return edges, nil
+	// Loop: a mutation can clear the memo between the leader's publish and
+	// the post-flight lookup (see CoreDist).
+	for {
+		if edges, ok := e.lookupMST(key); ok {
+			e.c.mstHits.Add(1)
+			return edges, nil
+		}
+		err := e.coalesce(ctx, sfKey{stage: sfMST, kind: KindEMST, algo: uint8(algo)}, &e.c.mstCoalesced, func(af *abort.Flag) {
+			e.buildMu.Lock()
+			defer e.buildMu.Unlock()
+			e.emstLocked(af, key, algo, stats)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if edges, ok := e.lookupMST(key); ok {
+			return edges, nil
+		}
+		if e.LiveN() <= 1 {
+			return nil, nil
+		}
 	}
-	err := e.coalesce(ctx, sfKey{stage: sfMST, kind: KindEMST, algo: uint8(algo)}, &e.c.mstCoalesced, func(af *abort.Flag) {
-		e.buildMu.Lock()
-		defer e.buildMu.Unlock()
-		e.emstLocked(af, key, algo, stats)
-	})
-	if err != nil {
-		return nil, err
-	}
-	edges, _ := e.lookupMST(key)
-	return edges, nil
 }
 
 func (e *Engine) emstLocked(af *abort.Flag, key mstKey, algo EMSTAlgo, stats *mst.Stats) []mst.Edge {
-	if e.Pts.N <= 1 {
+	if e.liveNLocked() <= 1 {
 		return nil // nothing to span; matches the one-shot early return
 	}
 	if edges, ok := e.lookupMST(key); ok {
@@ -673,11 +702,12 @@ func (e *Engine) emstLocked(af *abort.Flag, key mstKey, algo EMSTAlgo, stats *ms
 	var edges []mst.Edge
 	if algo == EMSTDelaunay2D {
 		af.Check() // the Delaunay path has no interior checkpoints
+		e.compactLocked(af, stats)
 		edges = delaunay.EMST(e.Pts, stats)
 		e.storeMST(key, edges)
 		return edges
 	}
-	t := e.treeLocked(af, stats)
+	t := e.canonLocked(af, stats)
 	ws := wsPool.Get().(*mst.Workspace)
 	defer wsPool.Put(ws)
 	if algo == EMSTBoruvka {
@@ -717,19 +747,25 @@ func (e *Engine) HDBSCANMST(ctx context.Context, minPts int, algo hdbscan.Algori
 			return edges, cd, nil
 		}
 	}
-	err := e.coalesce(ctx, sfKey{stage: sfMST, kind: KindHDBSCAN, algo: uint8(algo), minPts: minPts}, &e.c.mstCoalesced, func(af *abort.Flag) {
-		e.buildMu.Lock()
-		defer e.buildMu.Unlock()
-		e.hdbscanMSTLocked(af, key, minPts, algo, stats)
-	})
-	if err != nil {
-		return nil, nil, err
+	// Loop: a mutation can clear the memos between the leader's publish and
+	// the post-flight lookup (see CoreDist).
+	for {
+		err := e.coalesce(ctx, sfKey{stage: sfMST, kind: KindHDBSCAN, algo: uint8(algo), minPts: minPts}, &e.c.mstCoalesced, func(af *abort.Flag) {
+			e.buildMu.Lock()
+			defer e.buildMu.Unlock()
+			e.hdbscanMSTLocked(af, key, minPts, algo, stats)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		edges, ok := e.lookupMST(key)
+		e.regMu.RLock()
+		cd := e.cores[minPts]
+		e.regMu.RUnlock()
+		if ok && cd != nil {
+			return edges, cd, nil
+		}
 	}
-	edges, _ := e.lookupMST(key)
-	e.regMu.RLock()
-	cd := e.cores[minPts]
-	e.regMu.RUnlock()
-	return edges, cd, nil
 }
 
 func (e *Engine) hdbscanMSTLocked(af *abort.Flag, key mstKey, minPts int, algo hdbscan.Algorithm, stats *mst.Stats) ([]mst.Edge, []float64) {
@@ -737,7 +773,7 @@ func (e *Engine) hdbscanMSTLocked(af *abort.Flag, key mstKey, minPts int, algo h
 	if edges, ok := e.lookupMST(key); ok {
 		return edges, cd
 	}
-	t := e.treeLocked(af, stats)
+	t := e.canonLocked(af, stats)
 	e.annotateLocked(af, minPts, cd, stats)
 	ws := wsPool.Get().(*mst.Workspace)
 	defer wsPool.Put(ws)
@@ -755,25 +791,31 @@ func (e *Engine) Hierarchy(ctx context.Context, kind Kind, algo uint8, minPts in
 	if kind == KindEMST {
 		key.MinPts = 0
 	}
-	e.regMu.RLock()
-	st := e.hiers[key]
-	e.regMu.RUnlock()
-	if st != nil {
-		e.c.hierHits.Add(1)
-		return st, nil
+	// Loop: a mutation can clear the memo between the leader's publish and
+	// the post-flight lookup (see CoreDist).
+	for {
+		e.regMu.RLock()
+		st := e.hiers[key]
+		e.regMu.RUnlock()
+		if st != nil {
+			e.c.hierHits.Add(1)
+			return st, nil
+		}
+		err := e.coalesce(ctx, sfKey{stage: sfHier, kind: kind, algo: algo, minPts: key.MinPts}, &e.c.hierCoalesced, func(af *abort.Flag) {
+			e.buildMu.Lock()
+			defer e.buildMu.Unlock()
+			e.hierarchyLocked(af, key, kind, algo, minPts, stats)
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.regMu.RLock()
+		st = e.hiers[key]
+		e.regMu.RUnlock()
+		if st != nil {
+			return st, nil
+		}
 	}
-	err := e.coalesce(ctx, sfKey{stage: sfHier, kind: kind, algo: algo, minPts: key.MinPts}, &e.c.hierCoalesced, func(af *abort.Flag) {
-		e.buildMu.Lock()
-		defer e.buildMu.Unlock()
-		e.hierarchyLocked(af, key, kind, algo, minPts, stats)
-	})
-	if err != nil {
-		return nil, err
-	}
-	e.regMu.RLock()
-	st = e.hiers[key]
-	e.regMu.RUnlock()
-	return st, nil
 }
 
 // hierarchyLocked is the build-mutex-held hierarchy stage body.
@@ -792,7 +834,7 @@ func (e *Engine) hierarchyLocked(af *abort.Flag, key mstKey, kind Kind, algo uin
 		edges, cd = e.hdbscanMSTLocked(af, key, minPts, hdbscan.Algorithm(algo), stats)
 	}
 	af.Check() // last checkpoint before the (uncancellable) dendrogram build
-	st = &HierStage{N: e.Pts.N, MST: edges, CoreDist: cd, MinPts: minPts, eng: e}
+	st = &HierStage{N: e.liveNLocked(), MST: edges, CoreDist: cd, MinPts: minPts, eng: e}
 	if st.N > 0 {
 		stats.Time("dendrogram", func() {
 			st.Dendro = dendrogram.BuildParallel(st.N, edges, 0)

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"parclust/internal/dendrogram"
+	"parclust/internal/geometry"
 	"parclust/internal/kdtree"
 	"parclust/internal/mst"
 )
@@ -39,6 +40,21 @@ type StageSet struct {
 func (e *Engine) ExportStages() StageSet {
 	e.regMu.RLock()
 	defer e.regMu.RUnlock()
+	return e.exportStagesLocked()
+}
+
+// SnapshotView captures the base point set together with the published
+// stage outputs under one registry read lock, so a serializer sees a
+// mutation-coherent pair: the stages always describe exactly these points.
+// (A mutation clears the stages before publishing, and compaction replaces
+// points, tree, and dynamic state in one critical section.)
+func (e *Engine) SnapshotView() (geometry.Points, StageSet) {
+	e.regMu.RLock()
+	defer e.regMu.RUnlock()
+	return e.Pts, e.exportStagesLocked()
+}
+
+func (e *Engine) exportStagesLocked() StageSet {
 	s := StageSet{
 		Tree:  e.tree,
 		Cores: make(map[int][]float64, len(e.cores)),

@@ -21,6 +21,8 @@ type counters struct {
 	cutHits       atomic.Int64
 	buildAborts   atomic.Int64
 	buildPanics   atomic.Int64
+	treePatches   atomic.Int64
+	compactions   atomic.Int64
 }
 
 // Counters is a point-in-time snapshot of an Engine's stage cache counters.
@@ -54,6 +56,14 @@ type Counters struct {
 	// that panicked (recovered at the flight boundary). Neither publishes a
 	// stage output, so they never appear in the Builds counters.
 	BuildAborts, BuildPanics int64
+	// TreePatches counts mutations (Insert/Delete batches) absorbed by the
+	// dynamic layer: each patched the overlay/tombstone state and
+	// invalidated only downstream stages, keeping the base tree.
+	// Compactions counts canonical rebuilds that folded the backlog into a
+	// fresh base tree (each also increments TreeBuilds). MutationEpoch is
+	// the current mutation epoch (see Engine.MutationEpoch).
+	TreePatches, Compactions int64
+	MutationEpoch            uint64
 }
 
 // Coalesced returns the total number of requests, across all stages, that
@@ -82,5 +92,8 @@ func (e *Engine) Counters() Counters {
 		CutHits:             e.c.cutHits.Load(),
 		BuildAborts:         e.c.buildAborts.Load(),
 		BuildPanics:         e.c.buildPanics.Load(),
+		TreePatches:         e.c.treePatches.Load(),
+		Compactions:         e.c.compactions.Load(),
+		MutationEpoch:       e.epoch.Load(),
 	}
 }

@@ -144,8 +144,10 @@ func Encode(w io.Writer, metricName string, e *engine.Engine) error {
 	if _, err := metric.Parse(metricName); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	n, dim := e.Pts.N, e.Pts.Dim
-	set := e.ExportStages()
+	// One coherent (points, stages) capture: a mutation landing mid-encode
+	// cannot pair new points with stale stages or vice versa.
+	pts, set := e.SnapshotView()
+	n, dim := pts.N, pts.Dim
 
 	var payload bytes.Buffer
 	hdr := Header{Version: formatVersion, N: n, Dim: dim, Metric: metricName}
@@ -160,7 +162,7 @@ func Encode(w io.Writer, metricName string, e *engine.Engine) error {
 		hdr.Chunks = append(hdr.Chunks, c)
 	}
 
-	ptsBody := appendFloats(make([]byte, 0, 8*len(e.Pts.Data)), e.Pts.Data)
+	ptsBody := appendFloats(make([]byte, 0, 8*len(pts.Data)), pts.Data)
 	h := fnv.New64a()
 	h.Write(ptsBody)
 	hdr.ContentHash = fmt.Sprintf("%016x", h.Sum64())
@@ -218,13 +220,13 @@ func Encode(w io.Writer, metricName string, e *engine.Engine) error {
 // snapshot whose on-disk header already has the same content hash and at
 // least as many chunks.
 func Signature(e *engine.Engine) (contentHash string, chunks int) {
+	pts, set := e.SnapshotView()
 	h := fnv.New64a()
 	var b [8]byte
-	for _, v := range e.Pts.Data {
+	for _, v := range pts.Data {
 		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
 		h.Write(b[:])
 	}
-	set := e.ExportStages()
 	chunks = 1 + len(set.Cores) + len(set.MSTs) + len(set.Hiers)
 	if set.Tree != nil {
 		chunks++

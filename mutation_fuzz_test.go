@@ -1,0 +1,119 @@
+package parclust
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// FuzzMutationSequence drives an Index through an arbitrary byte-encoded
+// insert/delete/checkpoint sequence and differentially checks, at every
+// checkpoint, that tie-robust query results (core distances, range
+// queries, KNN over continuous rows) match a fresh Index built on the
+// surviving points. Inserted rows are drawn from PRNGs seeded by the op
+// position, so coordinates stay continuous and distance ties measure-zero.
+func FuzzMutationSequence(f *testing.F) {
+	f.Add([]byte{0, 1, 2})
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 1, 1, 2})
+	f.Add([]byte{64, 129, 2, 200, 70, 5, 2, 255, 254, 253, 2})
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2, 0, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		const dim = 2
+		rng := rand.New(rand.NewSource(1))
+		initial := randRows(rng, 16, dim)
+		idx, err := NewIndex(initial, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := &mutModel{dim: dim}
+		for i := 0; i < initial.N; i++ {
+			model.ids = append(model.ids, int64(i))
+			model.rows = append(model.rows, initial.Data[i*dim:(i+1)*dim])
+		}
+		for pos, b := range data {
+			switch b % 3 {
+			case 0: // insert 1..4 rows
+				rows := randRows(rand.New(rand.NewSource(int64(pos)<<8|int64(b))), 1+int(b/64), dim)
+				ids, err := idx.Insert(rows)
+				if err != nil {
+					t.Fatalf("op %d: Insert: %v", pos, err)
+				}
+				model.insert(t, ids, rows)
+			case 1: // delete 1..4 live points
+				if len(model.ids) == 0 {
+					continue
+				}
+				del := model.pick(rng, 1+int(b/64))
+				if err := idx.Delete(del); err != nil {
+					t.Fatalf("op %d: Delete(%v): %v", pos, del, err)
+				}
+				model.remove(del)
+			case 2:
+				mutationCheckpoint(t, idx, model, rng)
+			}
+		}
+		mutationCheckpoint(t, idx, model, rng)
+	})
+}
+
+// mutationCheckpoint is the light differential check the fuzzer runs: N,
+// external ids, core distances, KNN, and sorted range results against a
+// fresh build.
+func mutationCheckpoint(t *testing.T, idx *Index, model *mutModel, rng *rand.Rand) {
+	t.Helper()
+	fresh, err := NewIndex(model.points(), nil)
+	if err != nil {
+		t.Fatalf("fresh build: %v", err)
+	}
+	n := fresh.N()
+	if got := idx.N(); got != n {
+		t.Fatalf("live N = %d, fresh N = %d", got, n)
+	}
+	if n == 0 {
+		return
+	}
+	minPts := 3
+	if minPts > n {
+		minPts = n
+	}
+	cdLive, err := idx.CoreDistances(minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdFresh, _ := fresh.CoreDistances(minPts)
+	if !reflect.DeepEqual(cdLive, cdFresh) {
+		t.Fatalf("core distances diverge (n=%d)", n)
+	}
+	for i := 0; i < 3; i++ {
+		q := int32(rng.Intn(n))
+		nl, err := idx.KNN(q, minPts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nf, _ := fresh.KNN(q, minPts)
+		if !reflect.DeepEqual(nl, nf) {
+			t.Fatalf("KNN(%d) diverges: live %v, fresh %v", q, nl, nf)
+		}
+		rl, err := idx.RangeQuery(q, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, _ := fresh.RangeQuery(q, 0.3)
+		sort.Slice(rl, func(a, b int) bool { return rl[a] < rl[b] })
+		sort.Slice(rf, func(a, b int) bool { return rf[a] < rf[b] })
+		if !reflect.DeepEqual(rl, rf) && !(len(rl) == 0 && len(rf) == 0) {
+			t.Fatalf("RangeQuery(%d) diverges", q)
+		}
+		cl, err := idx.RangeCount(q, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cf, _ := fresh.RangeCount(q, 0.3); cl != cf {
+			t.Fatalf("RangeCount(%d) = %d, fresh %d", q, cl, cf)
+		}
+	}
+}

@@ -14,7 +14,16 @@ import (
 // every query byte-identically without rebuilding any serialized stage.
 // Safe to call concurrently with queries: stages published after the
 // snapshot begins are simply not included.
+//
+// A mutated Index is compacted first, so the snapshot always carries the
+// canonical base — the live rows in ascending external-id order — and
+// never overlay or tombstone state. External ids are not persisted: the
+// restored Index renumbers its points 0..m-1, which leaves every dense-id
+// query (KNN, labels, MST edges) byte-identical.
 func (ix *Index) WriteSnapshot(w io.Writer) error {
+	if err := ix.eng.Compact(ix.ctx); err != nil {
+		return err
+	}
 	return store.Encode(w, ix.eng.Kern.Name(), ix.eng)
 }
 
@@ -84,7 +93,10 @@ type SnapshotSignature struct {
 }
 
 // SnapshotSignature returns the signature WriteSnapshot would produce
-// right now.
+// right now. On a Dirty Index the signature still describes the current
+// base points — WriteSnapshot compacts before encoding — so stale-aware
+// persistence must treat Dirty as unconditionally stale rather than
+// compare signatures.
 func (ix *Index) SnapshotSignature() SnapshotSignature {
 	hash, chunks := store.Signature(ix.eng)
 	return SnapshotSignature{ContentHash: hash, Chunks: chunks}
